@@ -1,0 +1,104 @@
+// Command benchviews regenerates the experimental figures of the paper's
+// Section 7. Each figure is a sweep over the number of views for star or
+// chain queries, averaging 40 random queries per point, exactly following
+// the paper's protocol (queries without rewritings are skipped; timing
+// includes equivalence-class grouping).
+//
+// Usage:
+//
+//	benchviews -fig 6a              # one figure
+//	benchviews -fig all             # every figure (paper scale; minutes)
+//	benchviews -fig 8b -queries 10 -views 100,300,500
+//	benchviews -fig 6a -nogroup     # ablation: grouping disabled
+//
+// Output is an aligned text table per figure, suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"viewplan/internal/corecover"
+	"viewplan/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 6a, 6b, 7a, 7b, 8a, 8b, 9a, 9b, or all")
+		queries = flag.Int("queries", 0, "queries per point (default: the paper's 40)")
+		viewsFl = flag.String("views", "", "comma-separated view counts (default: 100..1000 step 100)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		nogroup = flag.Bool("nogroup", false, "ablation: disable view and view-tuple equivalence-class grouping")
+		subg    = flag.Int("subgoals", 0, "query subgoals (default: the paper's 8)")
+		par     = flag.Int("parallel", 1, "queries run concurrently per point (1 = sequential, matching the paper's protocol)")
+	)
+	flag.Parse()
+	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par); err != nil {
+		fmt.Fprintln(os.Stderr, "benchviews:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel int) error {
+	var figures []experiments.Figure
+	if fig == "all" {
+		figures = experiments.AllFigures()
+	} else {
+		figures = []experiments.Figure{experiments.Figure(fig)}
+	}
+
+	var viewCounts []int
+	if viewsFl != "" {
+		for _, part := range strings.Split(viewsFl, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -views entry %q: %v", part, err)
+			}
+			viewCounts = append(viewCounts, n)
+		}
+	}
+
+	// Figures sharing a sweep reuse its points.
+	type key struct {
+		shape   string
+		nondist int
+	}
+	cache := make(map[key][]experiments.Point)
+	for _, f := range figures {
+		cfg, err := experiments.ConfigFor(f)
+		if err != nil {
+			return err
+		}
+		if queries > 0 {
+			cfg.QueriesPerPoint = queries
+		}
+		if len(viewCounts) > 0 {
+			cfg.ViewCounts = viewCounts
+		}
+		if subgoals > 0 {
+			cfg.QuerySubgoals = subgoals
+		}
+		cfg.Seed = seed
+		cfg.Parallelism = parallel
+		if nogroup {
+			cfg.Options = corecover.Options{DisableViewGrouping: true, DisableTupleGrouping: true}
+		}
+		k := key{cfg.Shape.String(), cfg.Nondistinguished}
+		pts, ok := cache[k]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "running %s sweep (nondistinguished=%d, %d queries/point)...\n",
+				cfg.Shape, cfg.Nondistinguished, cfg.QueriesPerPoint)
+			pts, err = experiments.Run(cfg)
+			if err != nil {
+				return err
+			}
+			cache[k] = pts
+		}
+		experiments.Render(os.Stdout, f, pts)
+		fmt.Println()
+	}
+	return nil
+}

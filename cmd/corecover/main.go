@@ -1,0 +1,194 @@
+// Command corecover rewrites a conjunctive query using materialized
+// views: it runs the CoreCover algorithm (and variants) on a Datalog
+// input file and prints the generated rewritings, view tuples, and
+// tuple-cores.
+//
+// Input format: a Datalog program whose FIRST rule is the query and whose
+// remaining rules are the view definitions.
+//
+//	q1(S, C) :- car(M, a), loc(a, C), part(S, M, C).
+//	v1(M, D, C) :- car(M, D), loc(D, C).
+//	v2(S, M, C) :- part(S, M, C).
+//
+// Usage:
+//
+//	corecover [-star] [-algo corecover|minicon|bucket|naive] [-verbose]
+//	          [-data facts.dl] [-model M1|M2|M3] file.dl
+//
+// With -data, the base facts are loaded, views are materialized, and each
+// rewriting is costed under the chosen model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"viewplan"
+	"viewplan/internal/bucket"
+	"viewplan/internal/corecover"
+	"viewplan/internal/cost"
+	"viewplan/internal/cq"
+	"viewplan/internal/minicon"
+	"viewplan/internal/naive"
+	"viewplan/internal/views"
+)
+
+func main() {
+	var (
+		star    = flag.Bool("star", false, "run CoreCover* (all minimal rewritings using view tuples) instead of CoreCover (GMRs only)")
+		algo    = flag.String("algo", "corecover", "rewriting algorithm: corecover, minicon, bucket, or naive")
+		verbose = flag.Bool("verbose", false, "print view tuples, tuple-cores, and equivalence classes")
+		data    = flag.String("data", "", "file of ground facts; enables cost-based plan output")
+		model   = flag.String("model", "M2", "cost model for -data plans: M1, M2, or M3")
+		maxRW   = flag.Int("max", 0, "cap the number of rewritings (0 = all)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *star, *algo, *verbose, *data, *model, *maxRW, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "corecover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, star bool, algo string, verbose bool, dataFile, model string, maxRW int, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: corecover [flags] file.dl (see -h)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	rules, err := cq.ParseProgram(string(src))
+	if err != nil {
+		return err
+	}
+	if len(rules) < 2 {
+		return fmt.Errorf("input needs a query rule and at least one view rule")
+	}
+	q := rules[0]
+	vs, err := views.NewSet(rules[1:]...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "query: %s\n", q)
+	fmt.Fprintf(w, "views: %d\n", vs.Len())
+
+	var rewritings []*cq.Query
+	switch algo {
+	case "corecover":
+		opts := corecover.Options{MaxRewritings: maxRW}
+		var res *corecover.Result
+		if star {
+			res, err = corecover.CoreCoverStar(q, vs, opts)
+		} else {
+			res, err = corecover.CoreCover(q, vs, opts)
+		}
+		if err != nil {
+			return err
+		}
+		rewritings = res.Rewritings
+		if verbose {
+			printDetails(w, res)
+		}
+	case "minicon":
+		rewritings = minicon.Rewritings(q, vs, minicon.Options{EquivalentOnly: true, MaxRewritings: maxRW})
+	case "bucket":
+		rewritings, err = bucket.Rewritings(q, vs, bucket.Options{MaxRewritings: maxRW})
+		if err != nil {
+			return err
+		}
+	case "naive":
+		rewritings, err = naive.GMRs(q, vs, naive.Options{MaxRewritings: maxRW})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	if len(rewritings) == 0 {
+		fmt.Fprintln(w, "no equivalent rewriting exists")
+		return nil
+	}
+	fmt.Fprintf(w, "rewritings (%d):\n", len(rewritings))
+	for _, p := range rewritings {
+		fmt.Fprintf(w, "  %s   [M1 cost %d]\n", p, cost.M1Cost(p))
+	}
+
+	if dataFile == "" {
+		return nil
+	}
+	return costPlans(w, q, vs, rewritings, dataFile, model)
+}
+
+func printDetails(w io.Writer, res *corecover.Result) {
+	fmt.Fprintf(w, "minimized query: %s\n", res.MinimalQuery)
+	fmt.Fprintf(w, "view equivalence classes: %d\n", len(res.ViewClasses))
+	for _, class := range res.ViewClasses {
+		names := make([]string, len(class))
+		for i, v := range class {
+			names[i] = v.Name()
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "  %v (representative %s)\n", names, class[0].Name())
+	}
+	fmt.Fprintf(w, "view tuples and tuple-cores:\n")
+	for _, c := range res.Classes {
+		members := make([]string, len(c.Members))
+		for i, m := range c.Members {
+			members[i] = m.Atom.String()
+		}
+		role := "core"
+		if c.Core.IsEmpty() {
+			role = "filter (empty core)"
+		}
+		fmt.Fprintf(w, "  %v covers %v  [%s]\n", members, c.Core.Covered, role)
+	}
+}
+
+func costPlans(w io.Writer, q *cq.Query, vs *views.Set, rewritings []*cq.Query, dataFile, model string) error {
+	facts, err := os.ReadFile(dataFile)
+	if err != nil {
+		return err
+	}
+	db := viewplan.NewDatabase()
+	if err := db.LoadFacts(string(facts)); err != nil {
+		return err
+	}
+	if err := db.MaterializeViews(vs); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "plans over %s (model %s):\n", dataFile, model)
+	type costed struct {
+		p    *cq.Query
+		plan *cost.Plan
+	}
+	var best *costed
+	for _, p := range rewritings {
+		var plan *cost.Plan
+		switch model {
+		case "M1":
+			fmt.Fprintf(w, "  %s: cost %d\n", p, cost.M1Cost(p))
+			continue
+		case "M2":
+			plan, err = cost.BestPlanM2(db, p)
+		case "M3":
+			plan, err = cost.BestPlanM3(db, p, cost.RenamingHeuristic, q, vs)
+		default:
+			return fmt.Errorf("unknown model %q", model)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %s\n    %s\n", p, plan)
+		if best == nil || plan.Cost < best.plan.Cost {
+			best = &costed{p, plan}
+		}
+	}
+	if best != nil {
+		fmt.Fprintf(w, "best: %s (cost %d)\n", best.p, best.plan.Cost)
+	}
+	return nil
+}

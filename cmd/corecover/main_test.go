@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const inputDL = `
+q1(S, C) :- car(M, a), loc(a, C), part(S, M, C).
+v1(M, D, C) :- car(M, D), loc(D, C).
+v2(S, M, C) :- part(S, M, C).
+v3(S) :- car(M, a), loc(a, C), part(S, M, C).
+v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+v5(M, D, C) :- car(M, D), loc(D, C).
+`
+
+const factsDL = `
+car(honda, a). car(toyota, a).
+loc(a, sf). loc(a, la).
+part(s1, honda, sf). part(s2, toyota, la).
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCoreCover(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	var out bytes.Buffer
+	if err := run(&out, false, "corecover", true, "", "M2", 0, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"views: 5",
+		"view equivalence classes: 4",
+		"v4(M, a, C, S)   [M1 cost 1]",
+		"filter (empty core)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunStar(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	var out bytes.Buffer
+	if err := run(&out, true, "corecover", false, "", "M2", 0, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rewritings (2):") {
+		t.Errorf("CoreCover* output:\n%s", out.String())
+	}
+}
+
+func TestRunWithData(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	data := writeTemp(t, "facts.dl", factsDL)
+	for _, model := range []string{"M1", "M2", "M3"} {
+		var out bytes.Buffer
+		if err := run(&out, true, "corecover", false, data, model, 0, []string{in}); err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+		if !strings.Contains(out.String(), "plans over") {
+			t.Errorf("model %s output missing plans:\n%s", model, out.String())
+		}
+		if model != "M1" && !strings.Contains(out.String(), "best:") {
+			t.Errorf("model %s output missing best plan:\n%s", model, out.String())
+		}
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	for _, algo := range []string{"minicon", "bucket", "naive"} {
+		var out bytes.Buffer
+		if err := run(&out, false, algo, false, "", "M2", 0, []string{in}); err != nil {
+			t.Fatalf("algo %s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "rewritings") {
+			t.Errorf("algo %s produced no rewritings:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	var out bytes.Buffer
+	if err := run(&out, false, "nope", false, "", "M2", 0, []string{in}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&out, false, "corecover", false, "", "M2", 0, nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(&out, false, "corecover", false, "", "M2", 0, []string{"/does/not/exist.dl"}); err == nil {
+		t.Error("unreadable file accepted")
+	}
+	onlyQuery := writeTemp(t, "only.dl", "q(X) :- p(X).")
+	if err := run(&out, false, "corecover", false, "", "M2", 0, []string{onlyQuery}); err == nil {
+		t.Error("input without views accepted")
+	}
+	data := writeTemp(t, "facts.dl", factsDL)
+	if err := run(&out, false, "corecover", false, data, "M9", 0, []string{in}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunMaxCap(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	var out bytes.Buffer
+	if err := run(&out, true, "corecover", false, "", "M2", 1, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rewritings (1):") {
+		t.Errorf("cap ignored:\n%s", out.String())
+	}
+}

@@ -1,0 +1,128 @@
+package viewplan_test
+
+import (
+	"fmt"
+
+	"viewplan"
+)
+
+// The paper's running example: find the globally-minimal rewriting.
+func ExampleFindGMRs() {
+	q := viewplan.MustParseQuery(
+		"q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	vs, _ := viewplan.ParseViews(`
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+		v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	`)
+	res, _ := viewplan.FindGMRs(q, vs)
+	for _, p := range res.Rewritings {
+		fmt.Println(p)
+	}
+	// Output:
+	// q1(S, C) :- v4(M, a, C, S)
+}
+
+// CoreCover* finds every minimal rewriting using view tuples — the
+// search space for size-based cost models.
+func ExampleFindMinimalRewritings() {
+	q := viewplan.MustParseQuery(
+		"q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	vs, _ := viewplan.ParseViews(`
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+		v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	`)
+	res, _ := viewplan.FindMinimalRewritings(q, vs)
+	for _, p := range res.Rewritings {
+		fmt.Println(p)
+	}
+	// Output:
+	// q1(S, C) :- v1(M, a, C), v2(S, M, C)
+	// q1(S, C) :- v4(M, a, C, S)
+}
+
+// Chandra–Merlin containment of conjunctive queries.
+func ExampleContains() {
+	path2 := viewplan.MustParseQuery("q(X) :- e(X, Y), e(Y, Z)")
+	path1 := viewplan.MustParseQuery("q(X) :- e(X, Y)")
+	fmt.Println(viewplan.Contains(path2, path1))
+	fmt.Println(viewplan.Contains(path1, path2))
+	// Output:
+	// true
+	// false
+}
+
+// Minimization removes redundant subgoals (computes the core).
+func ExampleMinimize() {
+	q := viewplan.MustParseQuery("q(X) :- e(X, Y), e(X, Z)")
+	fmt.Println(viewplan.Minimize(q))
+	// Output:
+	// q(X) :- e(X, Z)
+}
+
+// A rewriting's expansion replaces view literals by their definitions.
+func ExampleExpand() {
+	vs, _ := viewplan.ParseViews("v1(M, D, C) :- car(M, D), loc(D, C).")
+	p := viewplan.MustParseQuery("q(M, C) :- v1(M, a, C)")
+	exp, _ := viewplan.Expand(p, vs)
+	fmt.Println(exp)
+	// Output:
+	// q(M, C) :- car(M, a), loc(a, C)
+}
+
+// View tuples are the building blocks of CoreCover's search space.
+func ExampleViewTuples() {
+	q := viewplan.MustParseQuery("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+	vs, _ := viewplan.ParseViews(`
+		v1(A, B) :- a(A, B), a(B, B).
+		v2(C, D) :- a(C, E), b(C, D).
+	`)
+	for _, t := range viewplan.ViewTuples(q, vs) {
+		fmt.Println(t.Atom)
+	}
+	// Output:
+	// v1(X, Z)
+	// v1(Z, Z)
+	// v2(Z, Y)
+}
+
+// Materialize views and execute a rewriting under the closed-world
+// assumption.
+func ExampleDatabase() {
+	vs, _ := viewplan.ParseViews("v(M, C) :- car(M, D), loc(D, C).")
+	db := viewplan.NewDatabase()
+	_ = db.LoadFacts("car(honda, a). loc(a, sf).")
+	_ = db.MaterializeViews(vs)
+	rel, _ := db.Evaluate(viewplan.MustParseQuery("q(M, C) :- v(M, C)"))
+	for _, row := range rel.SortedRows() {
+		fmt.Println(row)
+	}
+	// Output:
+	// [honda sf]
+}
+
+// Built-in comparison predicates filter query answers (Section 8).
+func ExampleParseQuery_comparisons() {
+	db := viewplan.NewDatabase()
+	_ = db.LoadFacts("r(1, 2). r(2, 1). r(3, 3).")
+	q := viewplan.MustParseQuery("s(X, Y) :- r(X, Y), X <= Y")
+	rel, _ := db.Evaluate(q)
+	for _, row := range rel.SortedRows() {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 2]
+	// [3 3]
+}
+
+// Union rewritings compare by total cost, not disjunct count.
+func ExampleParseUnion() {
+	u, _ := viewplan.ParseUnion(`
+		q(X) :- a(X).
+		q(X) :- b(X).
+	`)
+	fmt.Println(u.Len(), "disjuncts,", u.SubgoalCount(), "subgoals")
+	// Output:
+	// 2 disjuncts, 2 subgoals
+}

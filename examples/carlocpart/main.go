@@ -1,0 +1,150 @@
+// The paper's running example (car-loc-part, Example 1.1) end to end:
+// the five rewritings P1..P5, their classification in the Section 3
+// hierarchy (minimal / LMR / CMR / GMR), the view tuples and tuple-cores
+// of Section 4, CoreCover and CoreCover*, and the Section 5.1 filtering
+// effect of view v3 under cost model M2, measured on data built so that
+// v3 is highly selective. Run with:
+//
+//	go run ./examples/carlocpart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"viewplan"
+	"viewplan/internal/corecover"
+)
+
+const viewSrc = `
+	v1(M, D, C) :- car(M, D), loc(D, C).
+	v2(S, M, C) :- part(S, M, C).
+	v3(S) :- car(M, a), loc(a, C), part(S, M, C).
+	v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	v5(M, D, C) :- car(M, D), loc(D, C).
+`
+
+func main() {
+	q := viewplan.MustParseQuery("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	vs, err := viewplan.ParseViews(viewSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== The car-loc-part example (paper Example 1.1) ==")
+	fmt.Println("query:", q)
+
+	// The paper's five rewritings.
+	rewritings := map[string]*viewplan.Query{
+		"P1": viewplan.MustParseQuery("q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)"),
+		"P2": viewplan.MustParseQuery("q1(S, C) :- v1(M, a, C), v2(S, M, C)"),
+		"P3": viewplan.MustParseQuery("q1(S, C) :- v3(S), v1(M, a, C), v2(S, M, C)"),
+		"P4": viewplan.MustParseQuery("q1(S, C) :- v4(M, a, C, S)"),
+		"P5": viewplan.MustParseQuery("q1(S, C) :- v1(M, a, C1), v5(M1, a, C), v2(S, M, C)"),
+	}
+	fmt.Println("\n-- Section 3 classification --")
+	for _, name := range []string{"P1", "P2", "P3", "P4", "P5"} {
+		p := rewritings[name]
+		var tags []string
+		if viewplan.IsEquivalentRewriting(p, q, vs) {
+			tags = append(tags, "equivalent rewriting")
+		}
+		if corecover.IsMinimalRewriting(p) {
+			tags = append(tags, "minimal")
+		}
+		if corecover.IsLocallyMinimal(p, q, vs) {
+			tags = append(tags, "LMR")
+		}
+		fmt.Printf("%s: %s\n    %s\n", name, p, strings.Join(tags, ", "))
+	}
+
+	// CoreCover: the GMR.
+	res, err := viewplan.FindGMRs(q, vs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- CoreCover (Section 4) --")
+	fmt.Println("view equivalence classes:", len(res.ViewClasses), "(v1 and v5 merge)")
+	for _, c := range res.Classes {
+		fmt.Printf("  tuple %v: core covers %v\n", c.Core.Tuple.Atom, c.Core.Covered)
+	}
+	for _, p := range res.Rewritings {
+		fmt.Println("GMR:", p)
+	}
+
+	// CoreCover*: the M2 search space plus filters.
+	star, err := viewplan.FindMinimalRewritings(q, vs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- CoreCover* (Section 5) --")
+	for _, p := range star.Rewritings {
+		fmt.Println("minimal rewriting:", p)
+	}
+	for _, fc := range star.FilterClasses() {
+		fmt.Println("filter candidate:", fc.Core.Tuple.Atom, "(empty tuple-core)")
+	}
+
+	// Cost model M2 on data where v3 is very selective: P3 beats P2.
+	db := viewplan.NewDatabase()
+	var facts strings.Builder
+	for i := 0; i < 10; i++ {
+		facts.WriteString("car(m" + strconv.Itoa(i) + ", a). ")
+		facts.WriteString("loc(a, c" + strconv.Itoa(i) + "). ")
+	}
+	facts.WriteString("part(s0, m0, c0). ")
+	for i := 1; i < 100; i++ {
+		facts.WriteString("part(sx" + strconv.Itoa(i) + ", zz, yy). ")
+	}
+	if err := db.LoadFacts(facts.String()); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.MaterializeViews(vs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- Cost model M2 with a selective filter (Section 5.1) --")
+	for _, rel := range []string{"v1", "v2", "v3", "v4"} {
+		fmt.Printf("|%s| = %d  ", rel, db.Relation(rel).Size())
+	}
+	fmt.Println()
+	for _, name := range []string{"P2", "P3", "P4"} {
+		plan, err := viewplan.BestPlanM2(db, rewritings[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s best M2 cost: %d\n", name, plan.Cost)
+	}
+
+	// ImproveWithFilters discovers v3 automatically.
+	var candidates []viewplan.ViewTuple
+	for _, fc := range star.FilterClasses() {
+		candidates = append(candidates, fc.Members...)
+	}
+	fr, err := viewplan.ImproveWithFilters(db, rewritings["P2"], q, vs, candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var added []string
+	for _, a := range fr.Added {
+		added = append(added, a.String())
+	}
+	fmt.Printf("optimizer added filters %v -> %s (cost %d)\n",
+		added, fr.Rewriting, fr.Plan.Cost)
+
+	// Closed-world check: every rewriting computes the same answer.
+	fmt.Println("\n-- Closed-world answers --")
+	base, err := db.Evaluate(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("base query answer:", base.SortedRows())
+	for _, name := range []string{"P1", "P2", "P3", "P4", "P5"} {
+		got, err := db.Evaluate(rewritings[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s answer rows: %d\n", name, got.Size())
+	}
+}

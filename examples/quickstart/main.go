@@ -1,0 +1,72 @@
+// Quickstart: rewrite a query using materialized views and pick the
+// cheapest plan. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viewplan"
+)
+
+func main() {
+	// A query over base relations car, loc, part (the paper's running
+	// example): stores selling parts, in the same city, for car makes the
+	// "a" (anderson) dealership carries.
+	q := viewplan.MustParseQuery(
+		"q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+
+	// The materialized views we are allowed to answer it with.
+	vs, err := viewplan.ParseViews(`
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+		v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Globally-minimal rewritings (optimal under cost model M1).
+	res, err := viewplan.FindGMRs(q, vs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:     ", q)
+	for _, p := range res.Rewritings {
+		fmt.Println("rewriting: ", p, " (subgoals:", viewplan.M1Cost(p), ")")
+	}
+
+	// Execute a rewriting against real data: materialize the views and
+	// check the closed-world guarantee (same answer as the base query).
+	db := viewplan.NewDatabase()
+	err = db.LoadFacts(`
+		car(honda, a). car(toyota, a). car(honda, b).
+		loc(a, sf). loc(b, la).
+		part(s1, honda, sf). part(s2, toyota, sf). part(s3, honda, la).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.MaterializeViews(vs); err != nil {
+		log.Fatal(err)
+	}
+	base, err := db.Evaluate(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rewritten, err := db.Evaluate(res.Rewritings[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("base answer:     ", base.SortedRows())
+	fmt.Println("rewritten answer:", rewritten.SortedRows())
+
+	// Cost the rewriting under M2 (view sizes + intermediate sizes).
+	plan, err := viewplan.BestPlanM2(db, res.Rewritings[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best plan:", plan)
+}

@@ -1,0 +1,3 @@
+module viewplan
+
+go 1.22

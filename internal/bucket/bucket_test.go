@@ -1,0 +1,103 @@
+package bucket
+
+import (
+	"testing"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+func q(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+func mustViews(t *testing.T, src string) *views.Set {
+	t.Helper()
+	s, err := views.ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBucketCarLocPart(t *testing.T) {
+	vs := mustViews(t, `
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+		v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	`)
+	query := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	rws, err := Rewritings(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) == 0 {
+		t.Fatal("no rewritings")
+	}
+	sizes := map[int]bool{}
+	for _, p := range rws {
+		if !vs.IsEquivalentRewriting(p, query) {
+			t.Errorf("%s not equivalent", p)
+		}
+		sizes[len(p.Body)] = true
+	}
+	// The Cartesian product includes the v4^3 combination (dedups to one
+	// literal) and the v1/v2 mixtures.
+	if !sizes[1] || !sizes[2] {
+		t.Errorf("sizes = %v (%v)", sizes, rws)
+	}
+}
+
+func TestBucketEmptyBucket(t *testing.T) {
+	vs := mustViews(t, "v1(M, D, C) :- car(M, D), loc(D, C).")
+	query := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	rws, err := Rewritings(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 0 {
+		t.Errorf("expected none, got %v", rws)
+	}
+}
+
+func TestBucketDistinguishedRule(t *testing.T) {
+	// A view hiding a distinguished variable must not enter the bucket.
+	vs := mustViews(t, "v(X) :- e(X, Y).")
+	query := q("q(X, Y) :- e(X, Y)")
+	rws, err := Rewritings(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 0 {
+		t.Errorf("expected none, got %v", rws)
+	}
+}
+
+func TestBucketCandidateCap(t *testing.T) {
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, B).
+		v2(A, B) :- a(A, B).
+		v3(A, B) :- a(A, B).
+	`)
+	query := q("q(X, Y) :- a(X, Y)")
+	rws, err := Rewritings(query, vs, Options{MaxCandidates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) > 2 {
+		t.Errorf("cap ignored: %v", rws)
+	}
+}
+
+func TestBucketMaxRewritings(t *testing.T) {
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, B).
+		v2(A, B) :- a(A, B).
+	`)
+	query := q("q(X, Y) :- a(X, Y)")
+	rws, err := Rewritings(query, vs, Options{MaxRewritings: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Errorf("cap ignored: %v", rws)
+	}
+}

@@ -1,0 +1,232 @@
+package containment
+
+import (
+	"testing"
+
+	"viewplan/internal/cq"
+)
+
+func q(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+func TestContainsBasic(t *testing.T) {
+	q1 := q("q(X) :- e(X, Y), e(Y, Z)")
+	q2 := q("q(X) :- e(X, Y)")
+	if !Contains(q1, q2) {
+		t.Error("longer path query should be contained in shorter")
+	}
+	if Contains(q2, q1) {
+		t.Error("shorter path not contained in longer")
+	}
+	if !ProperlyContains(q1, q2) {
+		t.Error("containment should be proper")
+	}
+}
+
+func TestContainsSelf(t *testing.T) {
+	x := q("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+	if !Contains(x, x) || !Equivalent(x, x) {
+		t.Error("query should contain itself")
+	}
+}
+
+func TestEquivalentRenamed(t *testing.T) {
+	a := q("q(X) :- e(X, Y), e(Y, X)")
+	b := q("q(U) :- e(U, W), e(W, U)")
+	if !Equivalent(a, b) {
+		t.Error("renamed queries should be equivalent")
+	}
+}
+
+func TestContainsConstants(t *testing.T) {
+	a := q("q(X) :- e(X, c)")
+	b := q("q(X) :- e(X, Y)")
+	if !Contains(a, b) {
+		t.Error("constant-restricted query contained in general one")
+	}
+	if Contains(b, a) {
+		t.Error("general query not contained in constant-restricted one")
+	}
+	c := q("q(X) :- e(X, d)")
+	if Contains(a, c) || Contains(c, a) {
+		t.Error("different constants are incomparable")
+	}
+}
+
+func TestContainsHeadMismatch(t *testing.T) {
+	a := q("q(X) :- e(X, Y)")
+	b := q("p(X) :- e(X, Y)")
+	if Contains(a, b) || Contains(b, a) {
+		t.Error("different head predicates are incomparable")
+	}
+	c := q("q(X, Y) :- e(X, Y)")
+	if Contains(a, c) || Contains(c, a) {
+		t.Error("different head arities are incomparable")
+	}
+}
+
+func TestContainsRepeatedHeadVars(t *testing.T) {
+	a := q("q(X, X) :- e(X, X)")
+	b := q("q(X, Y) :- e(X, Y)")
+	if !Contains(a, b) {
+		t.Error("diagonal contained in general")
+	}
+	if Contains(b, a) {
+		t.Error("general not contained in diagonal")
+	}
+}
+
+// The classical example: a path of length 2 with loop vs triangle-ish
+// structures exercise non-trivial mappings.
+func TestContainsLoopExample(t *testing.T) {
+	// From the paper (Section 3.2): Q: q(X) :- e(X,X); V body e(A,A),e(A,B).
+	p1 := q("q(X) :- e(X, X), e(X, B)")
+	p2 := q("q(X) :- e(X, X)")
+	if !Equivalent(p1, p2) {
+		t.Error("e(X,B) is redundant given e(X,X)")
+	}
+}
+
+func TestFindContainmentMappingWitness(t *testing.T) {
+	from := q("q(X) :- e(X, Y)")
+	to := q("q(X) :- e(X, c), e(X, d)")
+	m, ok := FindContainmentMapping(from, to)
+	if !ok {
+		t.Fatal("mapping should exist")
+	}
+	if m.Term(cq.Var("X")) != cq.Var("X") {
+		t.Errorf("head variable mapped to %v", m.Term(cq.Var("X")))
+	}
+	img := m.Atom(from.Body[0])
+	if !cq.ContainsAtom(to.Body, img) {
+		t.Errorf("image %s not a subgoal of target", img)
+	}
+}
+
+func TestHomsEnumeratesAll(t *testing.T) {
+	body := q("q(X) :- e(X, Y)").Body
+	facts, err := cq.ParseFacts("e(a, b). e(a, c). e(b, c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homs := AllHoms(body, facts, nil, 0)
+	if len(homs) != 3 {
+		t.Errorf("got %d homomorphisms, want 3", len(homs))
+	}
+	limited := AllHoms(body, facts, nil, 2)
+	if len(limited) != 2 {
+		t.Errorf("limit ignored: got %d", len(limited))
+	}
+}
+
+func TestHomsRespectsInit(t *testing.T) {
+	body := q("q(X) :- e(X, Y)").Body
+	facts, _ := cq.ParseFacts("e(a, b). e(b, c).")
+	init := cq.Subst{"X": cq.Const("b")}
+	homs := AllHoms(body, facts, init, 0)
+	if len(homs) != 1 || homs[0]["Y"] != cq.Const("c") {
+		t.Errorf("init not respected: %v", homs)
+	}
+}
+
+func TestMinimizeCarLocPart(t *testing.T) {
+	// P1^exp from the paper minimizes to P2^exp.
+	p1exp := q("q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), part(S, M, C)")
+	m := Minimize(p1exp)
+	want := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	if !Equivalent(m, want) {
+		t.Errorf("minimized to %s", m)
+	}
+	if len(m.Body) != 3 {
+		t.Errorf("minimized body has %d subgoals, want 3", len(m.Body))
+	}
+}
+
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	x := q("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+	m := Minimize(x)
+	if len(m.Body) != 3 {
+		t.Errorf("minimal query shrank to %d subgoals", len(m.Body))
+	}
+	if !IsMinimal(x) {
+		t.Error("IsMinimal false for minimal query")
+	}
+}
+
+func TestMinimizeDuplicates(t *testing.T) {
+	x := q("q(X) :- p(X), p(X)")
+	m := Minimize(x)
+	if len(m.Body) != 1 {
+		t.Errorf("duplicates not removed: %s", m)
+	}
+}
+
+func TestMinimizeChainFold(t *testing.T) {
+	// q(X) :- e(X,Y), e(X,Z): Y,Z both existential; one subgoal suffices.
+	x := q("q(X) :- e(X, Y), e(X, Z)")
+	m := Minimize(x)
+	if len(m.Body) != 1 {
+		t.Errorf("fold failed: %s", m)
+	}
+	if !Equivalent(m, x) {
+		t.Error("minimization changed semantics")
+	}
+	if IsMinimal(x) {
+		t.Error("IsMinimal true for redundant query")
+	}
+}
+
+func TestMinimizePreservesHeadConstraints(t *testing.T) {
+	// Head variables block folding.
+	x := q("q(X, Y, Z) :- e(X, Y), e(X, Z)")
+	m := Minimize(x)
+	if len(m.Body) != 2 {
+		t.Errorf("distinguished variables must prevent folding: %s", m)
+	}
+}
+
+func TestFreezeAndEvaluate(t *testing.T) {
+	query := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	db := FreezeQuery(query)
+	if len(db.Facts) != 3 {
+		t.Fatalf("facts = %v", db.Facts)
+	}
+	for _, f := range db.Facts {
+		if !f.IsGround() {
+			t.Errorf("fact %s not ground", f)
+		}
+	}
+	// Evaluating v1(M, D, C) :- car(M, D), loc(D, C) over D_Q yields one
+	// tuple, which thaws to v1(M, a, C).
+	v1 := q("v1(M, D, C) :- car(M, D), loc(D, C)")
+	res := db.Evaluate(v1)
+	if len(res) != 1 {
+		t.Fatalf("evaluate returned %v", res)
+	}
+	thawed := db.ThawAtom(res[0])
+	want := cq.ParseAtomArgs("v1", "M", "a", "C")
+	if !thawed.Equal(want) {
+		t.Errorf("thawed = %s, want %s", thawed, want)
+	}
+}
+
+func TestEvaluateDedup(t *testing.T) {
+	query := q("q(X) :- e(X, Y), e(X, Z)")
+	db := FreezeQuery(query)
+	v := q("v(A) :- e(A, B)")
+	res := db.Evaluate(v)
+	if len(res) != 1 {
+		t.Errorf("expected dedup to 1 tuple, got %v", res)
+	}
+}
+
+func TestHasHom(t *testing.T) {
+	body := q("q(X) :- e(X, Y), f(Y)").Body
+	facts, _ := cq.ParseFacts("e(a, b). f(b).")
+	if !HasHom(body, facts, nil) {
+		t.Error("hom should exist")
+	}
+	facts2, _ := cq.ParseFacts("e(a, b). f(c).")
+	if HasHom(body, facts2, nil) {
+		t.Error("hom should not exist")
+	}
+}

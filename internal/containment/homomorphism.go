@@ -1,0 +1,237 @@
+// Package containment implements the Chandra–Merlin machinery for
+// conjunctive queries: containment mappings (homomorphisms), the
+// containment and equivalence tests built on them, and query minimization
+// (core computation).
+//
+// A query Q1 is contained in Q2 (Q1 ⊑ Q2) iff there is a containment
+// mapping from Q2 to Q1: a function on terms that is the identity on
+// constants, maps the head of Q2 onto the head of Q1 argument-wise, and
+// maps every body subgoal of Q2 onto some body subgoal of Q1.
+//
+// The same backtracking search also evaluates conjunctive-query bodies
+// over sets of ground facts (every homomorphism into the facts is one
+// answer), which is how canonical databases are queried when computing
+// view tuples.
+package containment
+
+import (
+	"viewplan/internal/cq"
+)
+
+// Homs enumerates homomorphisms of the atom list src into the atom list
+// target, extending the initial substitution init (which may be nil). Each
+// discovered homomorphism is passed to yield; enumeration stops early when
+// yield returns false. Constants must map to themselves; variables bound
+// by init are respected.
+//
+// The search orders source atoms most-constrained-first (fewest candidate
+// target atoms) and indexes the target by predicate, which keeps the
+// exponential worst case far away for the query sizes this library works
+// with.
+func Homs(src, target []cq.Atom, init cq.Subst, yield func(cq.Subst) bool) {
+	idx := indexByPred(target)
+	order := planOrder(src, idx)
+	s := cq.NewSubst()
+	for v, t := range init {
+		s[v] = t
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(order) {
+			return yield(s.Clone())
+		}
+		a := order[i]
+		for _, cand := range idx[a.Pred] {
+			if len(cand.Args) != len(a.Args) {
+				continue
+			}
+			trail := make([]cq.Var, 0, len(a.Args))
+			ok := true
+			for j := range a.Args {
+				switch t := a.Args[j].(type) {
+				case cq.Const:
+					if t != cand.Args[j] {
+						ok = false
+					}
+				case cq.Var:
+					if img, bound := s[t]; bound {
+						if img != cand.Args[j] {
+							ok = false
+						}
+					} else {
+						s[t] = cand.Args[j]
+						trail = append(trail, t)
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			for _, v := range trail {
+				delete(s, v)
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// HasHom reports whether at least one homomorphism from src into target
+// exists, extending init.
+func HasHom(src, target []cq.Atom, init cq.Subst) bool {
+	found := false
+	Homs(src, target, init, func(cq.Subst) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// AllHoms collects every homomorphism from src into target extending init.
+// limit > 0 caps the number collected (0 means unlimited).
+func AllHoms(src, target []cq.Atom, init cq.Subst, limit int) []cq.Subst {
+	var out []cq.Subst
+	Homs(src, target, init, func(h cq.Subst) bool {
+		out = append(out, h)
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+func indexByPred(atoms []cq.Atom) map[string][]cq.Atom {
+	idx := make(map[string][]cq.Atom)
+	for _, a := range atoms {
+		idx[a.Pred] = append(idx[a.Pred], a)
+	}
+	return idx
+}
+
+// planOrder returns src reordered so atoms with fewer candidate targets
+// come first, with a greedy preference for atoms sharing variables with
+// already-placed atoms (to propagate bindings early).
+func planOrder(src []cq.Atom, idx map[string][]cq.Atom) []cq.Atom {
+	n := len(src)
+	if n <= 1 {
+		return src
+	}
+	used := make([]bool, n)
+	bound := make(cq.VarSet)
+	out := make([]cq.Atom, 0, n)
+	for len(out) < n {
+		best, bestScore := -1, 0
+		for i, a := range src {
+			if used[i] {
+				continue
+			}
+			// Score: candidate count minus a bonus for each already-bound
+			// variable (bound variables prune candidates sharply).
+			score := len(idx[a.Pred]) * 4
+			for _, t := range a.Args {
+				if v, ok := t.(cq.Var); ok && bound.Has(v) {
+					score -= 3
+				}
+				if cq.IsConst(t) {
+					score--
+				}
+			}
+			if best == -1 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		used[best] = true
+		a := src[best]
+		a.Vars(bound)
+		out = append(out, a)
+	}
+	return out
+}
+
+// FindContainmentMapping finds a containment mapping from `from` onto `to`
+// (witnessing to ⊑ from). It requires matching head predicates and
+// arities; the mapping sends from's head arguments exactly onto to's head
+// arguments. It returns the mapping and whether one exists.
+//
+// With built-in comparisons (the Section 8 extension), a candidate
+// homomorphism additionally must map from's comparisons to comparisons
+// implied by to's (plus the order axioms over constants); homomorphisms
+// are enumerated until one qualifies. This test is sound but not complete
+// for comparison queries — completeness requires case analysis over
+// linear orders [Klug 1988], which the library deliberately trades for
+// the executable equivalence checks in package engine.
+func FindContainmentMapping(from, to *cq.Query) (cq.Subst, bool) {
+	init, ok := headSeed(from, to)
+	if !ok {
+		return nil, false
+	}
+	var found cq.Subst
+	Homs(from.Body, to.Body, init, func(h cq.Subst) bool {
+		if len(from.Comparisons) > 0 &&
+			!cq.ImpliesComparisons(to.Comparisons, h.Comparisons(from.Comparisons)) {
+			return true // keep searching
+		}
+		found = h
+		return false
+	})
+	if found == nil {
+		return nil, false
+	}
+	return found, true
+}
+
+// headSeed builds the initial substitution forcing from's head onto to's
+// head, or reports impossibility (predicate/arity mismatch, or a constant
+// conflict in the head).
+func headSeed(from, to *cq.Query) (cq.Subst, bool) {
+	if from.Head.Pred != to.Head.Pred || len(from.Head.Args) != len(to.Head.Args) {
+		return nil, false
+	}
+	init := cq.NewSubst()
+	for i := range from.Head.Args {
+		if !init.Match(from.Head.Args[i], to.Head.Args[i]) {
+			return nil, false
+		}
+	}
+	return init, true
+}
+
+// Contains reports q1 ⊑ q2: for every database, q1's answer is a subset of
+// q2's answer. Implemented as the existence of a containment mapping from
+// q2 to q1 (Chandra–Merlin); exact for pure conjunctive queries, sound
+// but not complete when built-in comparisons are present (see
+// FindContainmentMapping).
+func Contains(q1, q2 *cq.Query) bool {
+	if q1.Head.Pred != q2.Head.Pred || q1.Head.Arity() != q2.Head.Arity() {
+		return false
+	}
+	// An unsatisfiable comparison set makes q1 empty on every database.
+	if len(q1.Comparisons) > 0 && !SatisfiableComparisons(q1.Comparisons) {
+		return true
+	}
+	_, ok := FindContainmentMapping(q2, q1)
+	return ok
+}
+
+// SatisfiableComparisons reports whether a conjunction of comparisons has
+// a model (it is the consistency side of the cq order closure).
+func SatisfiableComparisons(comps []cq.Comparison) bool {
+	// ImpliesComparisons(comps, nil) returns true both for consistent
+	// premises (nothing to prove) and inconsistent ones; distinguish by
+	// asking for an absurd conclusion.
+	absurd := []cq.Comparison{{Op: cq.OpLT, Left: cq.Const("0"), Right: cq.Const("0")}}
+	return !cq.ImpliesComparisons(comps, absurd)
+}
+
+// Equivalent reports q1 ≡ q2 (containment both ways).
+func Equivalent(q1, q2 *cq.Query) bool {
+	return Contains(q1, q2) && Contains(q2, q1)
+}
+
+// ProperlyContains reports q1 ⊏ q2: q1 ⊑ q2 but not q2 ⊑ q1.
+func ProperlyContains(q1, q2 *cq.Query) bool {
+	return Contains(q1, q2) && !Contains(q2, q1)
+}

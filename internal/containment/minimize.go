@@ -1,0 +1,133 @@
+package containment
+
+import (
+	"viewplan/internal/cq"
+)
+
+// Minimize returns the minimal equivalent of q (its core): an equivalent
+// query from which no subgoal can be removed without losing equivalence.
+// The result is a fresh query; q is not modified.
+//
+// Correctness rests on the classical fact that a non-minimal conjunctive
+// query always has a single redundant subgoal: if q ≡ q” for some proper
+// sub-body q”, then the witnessing endomorphism h: q → q” misses at
+// least one subgoal a, and q minus {a} is still equivalent to q (the
+// identity gives q ⊑ q−{a}; h gives q−{a} ⊑ q). So iterated single-subgoal
+// removal reaches the core.
+func Minimize(q *cq.Query) *cq.Query {
+	cur := q.DedupBody()
+	for {
+		removed := false
+		for i := 0; i < len(cur.Body); i++ {
+			cand := cur.RemoveSubgoal(i)
+			if len(cand.Body) == 0 {
+				continue
+			}
+			// cur ⊑ cand holds trivially; equivalence needs cand ⊑ cur,
+			// i.e. a containment mapping from cur to cand.
+			if _, ok := FindContainmentMapping(cur, cand); ok {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// IsMinimal reports whether q has no redundant subgoals (q is its own
+// core, up to exact duplicates).
+func IsMinimal(q *cq.Query) bool {
+	d := q.DedupBody()
+	if len(d.Body) != len(q.Body) {
+		return false
+	}
+	for i := range d.Body {
+		cand := d.RemoveSubgoal(i)
+		if len(cand.Body) == 0 {
+			continue
+		}
+		if _, ok := FindContainmentMapping(d, cand); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalDB is the canonical (frozen) database of a query: each variable
+// replaced by a distinct fresh constant, body subgoals become the only
+// facts. Thaw maps the introduced constants back to the original
+// variables, so results computed over the facts can be restored to the
+// query's variable space.
+type CanonicalDB struct {
+	// Facts are the frozen body subgoals.
+	Facts []cq.Atom
+	// Freeze maps each query variable to its frozen constant.
+	Freeze cq.Subst
+	// Thaw maps each frozen constant back to the variable it came from.
+	Thaw map[cq.Const]cq.Var
+	// FrozenHead is the query head with variables frozen.
+	FrozenHead cq.Atom
+}
+
+// FreezePrefix is the prefix of constants introduced by Freeze; it is
+// chosen to be implausible in user input so thawing is unambiguous.
+const FreezePrefix = "_k·"
+
+// FreezeQuery builds the canonical database D_Q of q. Each variable X is
+// replaced by the constant FreezePrefix+X; constants already in q are kept
+// as themselves (and are not thawed back).
+func FreezeQuery(q *cq.Query) *CanonicalDB {
+	freeze := cq.NewSubst()
+	thaw := make(map[cq.Const]cq.Var)
+	for v := range q.Vars() {
+		c := cq.Const(FreezePrefix + string(v))
+		freeze[v] = c
+		thaw[c] = v
+	}
+	return &CanonicalDB{
+		// A database is a set of facts: duplicate body subgoals freeze to
+		// one fact.
+		Facts:      cq.DedupAtoms(freeze.Atoms(q.Body)),
+		Freeze:     freeze,
+		Thaw:       thaw,
+		FrozenHead: freeze.Atom(q.Head),
+	}
+}
+
+// ThawTerm converts a frozen constant back to its variable; other terms
+// pass through unchanged.
+func (db *CanonicalDB) ThawTerm(t cq.Term) cq.Term {
+	if c, ok := t.(cq.Const); ok {
+		if v, ok := db.Thaw[c]; ok {
+			return v
+		}
+	}
+	return t
+}
+
+// ThawAtom thaws every argument of a.
+func (db *CanonicalDB) ThawAtom(a cq.Atom) cq.Atom {
+	args := make([]cq.Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = db.ThawTerm(t)
+	}
+	return cq.Atom{Pred: a.Pred, Args: args}
+}
+
+// Evaluate computes the answers of query over the canonical database's
+// facts: one head atom per homomorphism of the query body into the facts,
+// deduplicated.
+func (db *CanonicalDB) Evaluate(query *cq.Query) []cq.Atom {
+	var out []cq.Atom
+	Homs(query.Body, db.Facts, nil, func(h cq.Subst) bool {
+		a := h.Atom(query.Head)
+		if !cq.ContainsAtom(out, a) {
+			out = append(out, a)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,174 @@
+package containment
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"viewplan/internal/cq"
+)
+
+// randomQuery mirrors the generator in package cq's property tests.
+func randomQuery(rnd *rand.Rand) *cq.Query {
+	nPreds := 1 + rnd.Intn(3)
+	nSub := 1 + rnd.Intn(5)
+	pool := []cq.Var{"A", "B", "C", "D"}
+	body := make([]cq.Atom, nSub)
+	for i := range body {
+		arity := 1 + rnd.Intn(3)
+		args := make([]cq.Term, arity)
+		for j := range args {
+			if rnd.Intn(6) == 0 {
+				args[j] = cq.Const("c")
+			} else {
+				args[j] = pool[rnd.Intn(len(pool))]
+			}
+		}
+		body[i] = cq.Atom{Pred: "p" + strconv.Itoa(rnd.Intn(nPreds)), Args: args}
+	}
+	q := &cq.Query{Head: cq.Atom{Pred: "q"}, Body: body}
+	for _, v := range q.BodyVars().Sorted() {
+		if rnd.Intn(2) == 0 {
+			q.Head.Args = append(q.Head.Args, v)
+		}
+	}
+	if len(q.Head.Args) == 0 {
+		vs := q.BodyVars().Sorted()
+		if len(vs) > 0 {
+			q.Head.Args = append(q.Head.Args, vs[0])
+		} else {
+			q.Head.Args = append(q.Head.Args, cq.Const("c"))
+		}
+	}
+	return q
+}
+
+func TestQuickContainmentReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randomQuery(rand.New(rand.NewSource(seed)))
+		return Contains(q, q) && Equivalent(q, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimizePreservesEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randomQuery(rand.New(rand.NewSource(seed)))
+		m := Minimize(q)
+		return Equivalent(q, m) && IsMinimal(m) && len(m.Body) <= len(q.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randomQuery(rand.New(rand.NewSource(seed)))
+		m := Minimize(q)
+		return len(Minimize(m).Body) == len(m.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetContainment(t *testing.T) {
+	// Removing subgoals can only grow the result: q ⊑ q-minus-subgoal
+	// whenever the smaller query stays safe.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomQuery(rnd)
+		if len(q.Body) < 2 {
+			return true
+		}
+		sub := q.RemoveSubgoal(rnd.Intn(len(q.Body)))
+		if sub.Validate() != nil {
+			return true
+		}
+		return Contains(q, sub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMappingWitnessIsValid(t *testing.T) {
+	// Whenever a containment mapping is found, verify it: head maps onto
+	// head, every body atom's image is a body atom of the target.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		from := randomQuery(rnd)
+		to := randomQuery(rnd)
+		m, ok := FindContainmentMapping(from, to)
+		if !ok {
+			return true
+		}
+		if !m.Atom(from.Head).Equal(to.Head) {
+			return false
+		}
+		for _, a := range from.Body {
+			if !cq.ContainsAtom(to.Body, m.Atom(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainmentAgreesWithEvaluation(t *testing.T) {
+	// Semantic cross-check: if q1 ⊑ q2 then over the canonical database
+	// of q1, q2 must return q1's frozen head (the Chandra–Merlin
+	// argument, run in reverse as an executable oracle).
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q1 := randomQuery(rnd)
+		q2 := randomQuery(rnd)
+		if q1.Head.Arity() != q2.Head.Arity() {
+			return true
+		}
+		if !Contains(q1, q2) {
+			return true
+		}
+		db := FreezeQuery(q1)
+		for _, ans := range db.Evaluate(q2) {
+			if ans.Equal(db.FrozenHead) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHomsAllDistinct(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomQuery(rnd)
+		db := FreezeQuery(q)
+		homs := AllHoms(q.Body, db.Facts, nil, 0)
+		if len(homs) == 0 {
+			return false // the identity freeze is always a hom
+		}
+		seen := make(map[string]struct{}, len(homs))
+		for _, h := range homs {
+			k := h.String()
+			if _, dup := seen[k]; dup {
+				return false
+			}
+			seen[k] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

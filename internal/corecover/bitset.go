@@ -1,0 +1,119 @@
+// Package corecover implements the paper's primary contribution: the
+// CoreCover algorithm (Section 4) for finding globally-minimal rewritings
+// (optimal under cost model M1), its CoreCover* variant (Section 5) that
+// finds all minimal rewritings using view tuples (the search space for
+// cost model M2), tuple-cores (Definition 4.1), and the
+// locally-minimal / containment-minimal / globally-minimal rewriting
+// analysis of Section 3.
+package corecover
+
+import "strings"
+
+// SubgoalSet is a set of body-subgoal indexes of the (minimized) query,
+// packed in a 64-bit mask. CoreCover refuses queries with more than 64
+// subgoals, far above anything conjunctive-query rewriting is used for.
+type SubgoalSet uint64
+
+// MaxSubgoals is the largest query body CoreCover supports.
+const MaxSubgoals = 64
+
+// Universe returns the set {0, ..., n-1}.
+func Universe(n int) SubgoalSet {
+	if n >= MaxSubgoals {
+		return ^SubgoalSet(0)
+	}
+	return SubgoalSet(1)<<uint(n) - 1
+}
+
+// With returns s ∪ {i}.
+func (s SubgoalSet) With(i int) SubgoalSet { return s | 1<<uint(i) }
+
+// Has reports i ∈ s.
+func (s SubgoalSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Union returns s ∪ t.
+func (s SubgoalSet) Union(t SubgoalSet) SubgoalSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s SubgoalSet) Intersect(t SubgoalSet) SubgoalSet { return s & t }
+
+// Minus returns s \ t.
+func (s SubgoalSet) Minus(t SubgoalSet) SubgoalSet { return s &^ t }
+
+// IsEmpty reports s = ∅.
+func (s SubgoalSet) IsEmpty() bool { return s == 0 }
+
+// Covers reports t ⊆ s.
+func (s SubgoalSet) Covers(t SubgoalSet) bool { return t&^s == 0 }
+
+// Count returns |s|.
+func (s SubgoalSet) Count() int {
+	n := 0
+	for x := s; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// LowestMissing returns the smallest element of universe not in s, or -1
+// if s covers universe.
+func (s SubgoalSet) LowestMissing(universe SubgoalSet) int {
+	miss := universe &^ s
+	if miss == 0 {
+		return -1
+	}
+	i := 0
+	for miss&1 == 0 {
+		miss >>= 1
+		i++
+	}
+	return i
+}
+
+// Elements returns the members in increasing order.
+func (s SubgoalSet) Elements() []int {
+	var out []int
+	for i := 0; i < MaxSubgoals && s != 0; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+			s &^= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// String renders the set as {0, 2, 5}.
+func (s SubgoalSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.Elements() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(itoa(e))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,321 @@
+package corecover
+
+import (
+	"fmt"
+	"sort"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+// Options tunes the CoreCover algorithms. The zero value enables the
+// paper's configuration (view and view-tuple equivalence-class grouping on,
+// no caps).
+type Options struct {
+	// DisableViewGrouping skips the Section 5.2 grouping of views into
+	// equivalence classes (used by the grouping ablation benchmark).
+	DisableViewGrouping bool
+	// DisableTupleGrouping skips grouping view tuples by equal tuple-core.
+	DisableTupleGrouping bool
+	// MaxRewritings caps the number of rewritings produced (0 = unlimited).
+	MaxRewritings int
+	// SkipVerification skips the final containment check of each produced
+	// rewriting. Theorem 4.1 guarantees the check passes; it is kept on by
+	// default as an internal consistency assertion and costs little.
+	SkipVerification bool
+}
+
+// TupleClass groups view tuples with the same tuple-core (the concise
+// representation of Section 5.2). Any member can replace the
+// representative in a rewriting and the result is still a rewriting.
+type TupleClass struct {
+	// Core is the representative's tuple-core; all members share its
+	// Covered set.
+	Core TupleCore
+	// Members are all tuples in the class, representative first.
+	Members []views.Tuple
+}
+
+// Result is the outcome of a CoreCover or CoreCover* run.
+type Result struct {
+	// Query is the original query; MinimalQuery its minimized equivalent
+	// (CoreCover step 1). Subgoal indexes in cores refer to MinimalQuery.
+	Query        *cq.Query
+	MinimalQuery *cq.Query
+	// ViewClasses are the view equivalence classes used (each class's
+	// first member is the representative). With grouping disabled every
+	// view is its own class.
+	ViewClasses [][]*views.View
+	// Tuples are all view tuples of the representative views.
+	Tuples []views.Tuple
+	// Classes are the view-tuple classes keyed by tuple-core; classes with
+	// empty cores are included (usable as filters) but never chosen by the
+	// cover search.
+	Classes []TupleClass
+	// Rewritings are the generated rewritings: all globally-minimal
+	// rewritings for CoreCover, all minimal rewritings using view tuples
+	// for CoreCover*. Each uses representative tuples only.
+	Rewritings []*cq.Query
+	// Covers records, for each rewriting, the indexes into Classes whose
+	// representatives form its body.
+	Covers [][]int
+}
+
+// GMRSize returns the number of subgoals of the globally-minimal
+// rewritings (0 if none were found).
+func (r *Result) GMRSize() int {
+	if len(r.Rewritings) == 0 {
+		return 0
+	}
+	return len(r.Rewritings[0].Body)
+}
+
+// FilterClasses returns the classes with empty tuple-cores: tuples that
+// cover no query subgoal but can serve as filtering subgoals under cost
+// model M2 (Section 5.1).
+func (r *Result) FilterClasses() []TupleClass {
+	var out []TupleClass
+	for _, c := range r.Classes {
+		if c.Core.IsEmpty() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CoreCover finds all globally-minimal rewritings (GMRs) of q using the
+// views: the optimal rewritings under cost model M1. It implements
+// Figure 4 of the paper:
+//
+//  1. minimize q;
+//  2. compute the view tuples T(Q,V) over the canonical database (after
+//     grouping views into equivalence classes and keeping representatives);
+//  3. compute the tuple-core of each view tuple (and group tuples with
+//     equal cores, keeping representatives);
+//  4. cover the query subgoals with a minimum number of tuple-cores; each
+//     minimum cover yields a GMR.
+//
+// It returns a Result whose Rewritings field holds one rewriting per
+// minimum cover (empty if q has no equivalent rewriting over the views).
+func CoreCover(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
+	r, cs, err := prepare(q, vs, opts)
+	if err != nil {
+		return nil, err
+	}
+	ver := r.newVerifier(vs, opts)
+	covers := cs.MinimumCovers(opts.MaxRewritings, ver.accept())
+	r.collect(covers, ver)
+	return r, nil
+}
+
+// CoreCoverStar finds all minimal rewritings of q that use view tuples:
+// the Section 5 search space guaranteed to contain an optimal rewriting
+// under cost model M2 (before filter subgoals, which the optimizer may add
+// from Result.FilterClasses). Every irredundant cover of the query
+// subgoals by tuple-cores yields one rewriting.
+func CoreCoverStar(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
+	r, cs, err := prepare(q, vs, opts)
+	if err != nil {
+		return nil, err
+	}
+	ver := r.newVerifier(vs, opts)
+	covers := cs.IrredundantCovers(opts.MaxRewritings, ver.accept())
+	r.collect(covers, ver)
+	return r, nil
+}
+
+func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if q.HasComparisons() {
+		return nil, nil, fmt.Errorf("corecover: query %s uses built-in predicates; CoreCover handles pure conjunctive queries (see package ucq for the Section 8 extension)", q.Name())
+	}
+	for _, v := range vs.Views {
+		if v.Def.HasComparisons() {
+			return nil, nil, fmt.Errorf("corecover: view %s uses built-in predicates; CoreCover handles pure conjunctive views (see package ucq for the Section 8 extension)", v.Name())
+		}
+	}
+	minQ := containment.Minimize(q)
+	if len(minQ.Body) > MaxSubgoals {
+		return nil, nil, fmt.Errorf("corecover: query has %d subgoals after minimization; the limit is %d",
+			len(minQ.Body), MaxSubgoals)
+	}
+
+	var classes [][]*views.View
+	work := vs
+	if opts.DisableViewGrouping {
+		classes = make([][]*views.View, vs.Len())
+		for i, v := range vs.Views {
+			classes[i] = []*views.View{v}
+		}
+	} else {
+		classes = vs.EquivalenceClasses()
+		names := make([]string, len(classes))
+		for i, c := range classes {
+			names[i] = c[0].Name()
+		}
+		sub, err := vs.Subset(names)
+		if err != nil {
+			return nil, nil, err
+		}
+		work = sub
+	}
+
+	tuples := views.ComputeTuples(minQ, work)
+	cc := newCoreComputer(minQ)
+
+	r := &Result{
+		Query:        q.Clone(),
+		MinimalQuery: minQ,
+		ViewClasses:  classes,
+		Tuples:       tuples,
+	}
+
+	byCore := make(map[SubgoalSet]int)
+	for _, vt := range tuples {
+		core, err := cc.Compute(vt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opts.DisableTupleGrouping {
+			r.Classes = append(r.Classes, TupleClass{Core: core, Members: []views.Tuple{vt}})
+			continue
+		}
+		if ci, ok := byCore[core.Covered]; ok && !core.IsEmpty() {
+			r.Classes[ci].Members = append(r.Classes[ci].Members, vt)
+			continue
+		}
+		if !core.IsEmpty() {
+			byCore[core.Covered] = len(r.Classes)
+		}
+		r.Classes = append(r.Classes, TupleClass{Core: core, Members: []views.Tuple{vt}})
+	}
+
+	cs := &coverSearch{universe: Universe(len(minQ.Body))}
+	cs.sets = make([]SubgoalSet, len(r.Classes))
+	for i, c := range r.Classes {
+		cs.sets[i] = c.Core.Covered // empty cores never help the cover
+	}
+	return r, cs, nil
+}
+
+// verifier checks candidate covers against the query and caches the
+// rewriting built for each accepted cover.
+//
+// Verification is part of the algorithm's semantics, not just an
+// assertion: the tuple-cores of a cover may fail to combine into a single
+// containment mapping when a query variable is shared between the
+// arguments of one chosen tuple and an existentially mapped position of
+// another (a side condition Theorem 4.1 leaves implicit; see DESIGN.md).
+// Such covers do not yield equivalent rewritings and must be rejected —
+// with the cover search then moving on to other covers, possibly of
+// larger size. When the representative combination fails, other members
+// of the involved tuple classes are tried before the cover is rejected,
+// since members share a covered set but not necessarily argument
+// variables.
+type verifier struct {
+	r    *Result
+	vs   *views.Set
+	opts Options
+	ok   map[string]*cq.Query
+}
+
+func (r *Result) newVerifier(vs *views.Set, opts Options) *verifier {
+	return &verifier{r: r, vs: vs, opts: opts, ok: make(map[string]*cq.Query)}
+}
+
+// accept returns the callback handed to the cover search, or nil when
+// verification is disabled.
+func (v *verifier) accept() func([]int) bool {
+	if v.opts.SkipVerification {
+		return nil
+	}
+	return func(cover []int) bool {
+		_, ok := v.verify(cover)
+		return ok
+	}
+}
+
+// memberFallbackLimit caps how many member combinations are tried per
+// cover when the representative combination fails verification.
+const memberFallbackLimit = 64
+
+func (v *verifier) verify(cover []int) (*cq.Query, bool) {
+	key := coverKey(cover)
+	if p, done := v.ok[key]; done {
+		return p, p != nil
+	}
+	check := func(tuples []views.Tuple) *cq.Query {
+		p := views.TuplesAsQuery(v.r.MinimalQuery, tuples)
+		if v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery) {
+			return p
+		}
+		return nil
+	}
+	reps := make([]views.Tuple, len(cover))
+	for i, ci := range cover {
+		reps[i] = v.r.Classes[ci].Core.Tuple
+	}
+	if p := check(reps); p != nil {
+		v.ok[key] = p
+		return p, true
+	}
+	// Representative combination failed: try other members (bounded).
+	tried := 0
+	choice := append([]views.Tuple(nil), reps...)
+	var rec func(i int) *cq.Query
+	rec = func(i int) *cq.Query {
+		if i == len(cover) {
+			tried++
+			return check(choice)
+		}
+		for _, m := range v.r.Classes[cover[i]].Members {
+			if tried >= memberFallbackLimit {
+				return nil
+			}
+			choice[i] = m
+			if p := rec(i + 1); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	p := rec(0)
+	v.ok[key] = p
+	return p, p != nil
+}
+
+// collect turns accepted covers into the Result's rewriting list.
+func (r *Result) collect(covers [][]int, ver *verifier) {
+	for _, cover := range covers {
+		sort.Ints(cover)
+		var p *cq.Query
+		if ver.opts.SkipVerification {
+			tuples := make([]views.Tuple, len(cover))
+			for i, ci := range cover {
+				tuples[i] = r.Classes[ci].Core.Tuple
+			}
+			p = views.TuplesAsQuery(r.MinimalQuery, tuples)
+		} else {
+			var ok bool
+			p, ok = ver.verify(cover)
+			if !ok {
+				continue
+			}
+		}
+		r.Rewritings = append(r.Rewritings, p)
+		r.Covers = append(r.Covers, cover)
+	}
+}
+
+// HasRewriting reports whether q has any equivalent rewriting over vs.
+// It is a convenience wrapper over CoreCover limited to one rewriting.
+func HasRewriting(q *cq.Query, vs *views.Set) (bool, error) {
+	r, err := CoreCover(q, vs, Options{MaxRewritings: 1})
+	if err != nil {
+		return false, err
+	}
+	return len(r.Rewritings) > 0, nil
+}

@@ -1,0 +1,703 @@
+package corecover
+
+import (
+	"testing"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+const carLocPartViews = `
+	v1(M, D, C) :- car(M, D), loc(D, C).
+	v2(S, M, C) :- part(S, M, C).
+	v3(S) :- car(M, a), loc(a, C), part(S, M, C).
+	v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	v5(M, D, C) :- car(M, D), loc(D, C).
+`
+
+const carLocPartQuery = "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)"
+
+func mustViews(t *testing.T, src string) *views.Set {
+	t.Helper()
+	s, err := views.ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func q(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+// coreFor finds the tuple-core for the named view's tuple in a result.
+func coreFor(t *testing.T, r *Result, view string) TupleCore {
+	t.Helper()
+	cc := newCoreComputer(r.MinimalQuery)
+	for _, vt := range r.Tuples {
+		if vt.View.Name() == view {
+			core, err := cc.Compute(vt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return core
+		}
+	}
+	t.Fatalf("no view tuple for %s", view)
+	return TupleCore{}
+}
+
+func TestCarLocPartGMR(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	r, err := CoreCover(q(carLocPartQuery), vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unique GMR is P4: q1(S, C) :- v4(M, a, C, S).
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("got %d GMRs: %v", len(r.Rewritings), r.Rewritings)
+	}
+	got := r.Rewritings[0]
+	want := q("q1(S, C) :- v4(M, a, C, S)")
+	if !got.EqualModuloBodyOrder(want) {
+		t.Errorf("GMR = %s, want %s", got, want)
+	}
+	if r.GMRSize() != 1 {
+		t.Errorf("GMRSize = %d", r.GMRSize())
+	}
+}
+
+func TestCarLocPartTupleCores(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	r, err := CoreCover(q(carLocPartQuery), vs, Options{DisableViewGrouping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 4.1: cores of v1, v2, v4, v5 equal the respective bodies
+	// (with D -> a); v3 has an empty core.
+	cases := map[string]int{
+		"v1": 2, // car, loc
+		"v2": 1, // part
+		"v3": 0,
+		"v4": 3,
+		"v5": 2,
+	}
+	for view, wantSize := range cases {
+		core := coreFor(t, r, view)
+		if got := core.Covered.Count(); got != wantSize {
+			t.Errorf("core(%s) covers %d subgoals (%v), want %d", view, got, core.Covered, wantSize)
+		}
+	}
+}
+
+func TestCarLocPartFilterClasses(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	r, err := CoreCoverStar(q(carLocPartQuery), vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := r.FilterClasses()
+	if len(filters) != 1 || filters[0].Core.Tuple.View.Name() != "v3" {
+		t.Errorf("filter classes = %v", filters)
+	}
+}
+
+func TestCarLocPartCoreCoverStar(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	r, err := CoreCoverStar(q(carLocPartQuery), vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Irredundant covers with representatives {v1(car,loc), v2(part),
+	// v4(all)}: {v4} and {v1, v2}. (v1&v4 or v2&v4 are redundant covers.)
+	if len(r.Rewritings) != 2 {
+		t.Fatalf("got %d rewritings: %v", len(r.Rewritings), r.Rewritings)
+	}
+	sizes := map[int]bool{}
+	for _, p := range r.Rewritings {
+		sizes[len(p.Body)] = true
+		if !vs.IsEquivalentRewriting(p, q(carLocPartQuery)) {
+			t.Errorf("%s is not an equivalent rewriting", p)
+		}
+	}
+	if !sizes[1] || !sizes[2] {
+		t.Errorf("expected a 1-subgoal and a 2-subgoal rewriting, got %v", r.Rewritings)
+	}
+}
+
+func TestExample41TupleCores(t *testing.T) {
+	// Table 2 of the paper.
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, B), a(B, B).
+		v2(C, D) :- a(C, E), b(C, D).
+	`)
+	query := q("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subgoal indexes: 0 = a(X,Z), 1 = a(Z,Z), 2 = b(Z,Y).
+	wantCores := map[string]SubgoalSet{
+		"v1(X, Z)": SubgoalSet(0).With(0).With(1),
+		"v1(Z, Z)": SubgoalSet(0).With(1),
+		"v2(Z, Y)": SubgoalSet(0).With(2),
+	}
+	cc := newCoreComputer(r.MinimalQuery)
+	seen := map[string]bool{}
+	for _, vt := range r.Tuples {
+		core, err := cc.Compute(vt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := wantCores[vt.Atom.String()]
+		if !ok {
+			t.Errorf("unexpected view tuple %s", vt.Atom)
+			continue
+		}
+		seen[vt.Atom.String()] = true
+		if core.Covered != want {
+			t.Errorf("core(%s) = %v, want %v", vt.Atom, core.Covered, want)
+		}
+	}
+	for k := range wantCores {
+		if !seen[k] {
+			t.Errorf("missing view tuple %s", k)
+		}
+	}
+	// The unique GMR: q(X, Y) :- v1(X, Z), v2(Z, Y).
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+	want := q("q(X, Y) :- v1(X, Z), v2(Z, Y)")
+	if !r.Rewritings[0].EqualModuloBodyOrder(want) {
+		t.Errorf("GMR = %s, want %s", r.Rewritings[0], want)
+	}
+}
+
+func TestExample42SingleGMR(t *testing.T) {
+	// Example 4.2 with k = 3: CoreCover creates exactly one GMR
+	// q(X, Y) :- v(X, Y) while views v1, v2 cover only pairs.
+	vs := mustViews(t, `
+		v(X, Y) :- a1(X, Z1), b1(Z1, Y), a2(X, Z2), b2(Z2, Y), a3(X, Z3), b3(Z3, Y).
+		v1(X, Y) :- a1(X, Z1), b1(Z1, Y).
+		v2(X, Y) :- a2(X, Z2), b2(Z2, Y).
+	`)
+	query := q("q(X, Y) :- a1(X, Z1), b1(Z1, Y), a2(X, Z2), b2(Z2, Y), a3(X, Z3), b3(Z3, Y)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+	want := q("q(X, Y) :- v(X, Y)")
+	if !r.Rewritings[0].EqualModuloBodyOrder(want) {
+		t.Errorf("GMR = %s", r.Rewritings[0])
+	}
+	// The big view's tuple-core covers all six subgoals.
+	core := coreFor(t, r, "v")
+	if core.Covered.Count() != 6 {
+		t.Errorf("core(v) covers %d subgoals", core.Covered.Count())
+	}
+}
+
+func TestSection32LoopExample(t *testing.T) {
+	// Q: q(X) :- e(X,X); V: v(A,B) :- e(A,A), e(A,B).
+	// The view tuple is v(X, X); the GMR is q(X) :- v(X, X) (P2).
+	vs := mustViews(t, "v(A, B) :- e(A, A), e(A, B).")
+	query := q("q(X) :- e(X, X)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+	want := q("q(X) :- v(X, X)")
+	if !r.Rewritings[0].EqualModuloBodyOrder(want) {
+		t.Errorf("GMR = %s, want %s", r.Rewritings[0], want)
+	}
+}
+
+func TestExample31ChainFamily(t *testing.T) {
+	// Example 3.1: the GMR uses a single view literal v(X, Y, Z, c).
+	vs := mustViews(t, "v(X, Y, Z, W) :- e1(X, W), e2(Y, W), e3(Z, W).")
+	query := q("q(X, Y, Z) :- e1(X, c), e2(Y, c), e3(Z, c)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+	want := q("q(X, Y, Z) :- v(X, Y, Z, c)")
+	if !r.Rewritings[0].EqualModuloBodyOrder(want) {
+		t.Errorf("GMR = %s, want %s", r.Rewritings[0], want)
+	}
+}
+
+func TestNoRewriting(t *testing.T) {
+	vs := mustViews(t, "v1(M, D, C) :- car(M, D), loc(D, C).")
+	query := q(carLocPartQuery)
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 0 {
+		t.Errorf("expected no rewritings, got %v", r.Rewritings)
+	}
+	ok, err := HasRewriting(query, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("HasRewriting = true")
+	}
+}
+
+func TestDistinguishedVarBlocksCover(t *testing.T) {
+	// A view hiding a distinguished variable cannot cover the subgoal.
+	vs := mustViews(t, "v(X) :- e(X, Y).")
+	query := q("q(X, Y) :- e(X, Y)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 0 {
+		t.Errorf("expected no rewritings, got %v", r.Rewritings)
+	}
+}
+
+func TestExistentialJoinRequiresWholeUnit(t *testing.T) {
+	// Property 3: if a view hides the join variable, its tuple must cover
+	// both subgoals using it or neither.
+	vs := mustViews(t, `
+		va(X, Y) :- a(X, Z), b(Z, Y).
+		vb(X) :- a(X, Z).
+	`)
+	query := q("q(X, Y) :- a(X, Z), b(Z, Y)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+	if r.Rewritings[0].Body[0].Pred != "va" {
+		t.Errorf("GMR = %s", r.Rewritings[0])
+	}
+	// vb hides Z; a(X,Z) alone is not coverable by vb's tuple because
+	// b(Z,Y) (same unit, via Z) cannot be mapped.
+	core := coreFor(t, r, "vb")
+	if !core.IsEmpty() {
+		t.Errorf("core(vb) = %v, want empty", core.Covered)
+	}
+}
+
+func TestViewTupleWithRepeatedVars(t *testing.T) {
+	// The canonical database can force repeated variables in view tuples.
+	vs := mustViews(t, "v(A, B) :- e(A, B).")
+	query := q("q(X) :- e(X, X)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+	want := q("q(X) :- v(X, X)")
+	if !r.Rewritings[0].EqualModuloBodyOrder(want) {
+		t.Errorf("GMR = %s", r.Rewritings[0])
+	}
+}
+
+func TestMinimizationBeforeCover(t *testing.T) {
+	// The input query has a redundant subgoal; CoreCover must minimize
+	// before covering (otherwise no single view tuple could cover).
+	vs := mustViews(t, "v(X, C) :- e(X, C).")
+	query := q("q(X) :- e(X, c), e(X, Y)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MinimalQuery.Body) != 1 {
+		t.Errorf("minimal query = %s", r.MinimalQuery)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+}
+
+func TestTupleClassGrouping(t *testing.T) {
+	// Two views equivalent as queries are grouped; their tuples share a
+	// class through the representative.
+	vs := mustViews(t, carLocPartViews)
+	r, err := CoreCover(q(carLocPartQuery), vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 and v5 merge at the view level, so only four views contribute
+	// tuples.
+	if len(r.ViewClasses) != 4 {
+		t.Errorf("view classes = %d", len(r.ViewClasses))
+	}
+	if len(r.Tuples) != 4 {
+		t.Errorf("tuples = %v", r.Tuples)
+	}
+}
+
+func TestDisableGroupingAblation(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	r, err := CoreCover(q(carLocPartQuery), vs, Options{DisableViewGrouping: true, DisableTupleGrouping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ViewClasses) != 5 {
+		t.Errorf("view classes = %d, want 5 (grouping disabled)", len(r.ViewClasses))
+	}
+	if len(r.Tuples) != 5 {
+		t.Errorf("tuples = %d, want 5", len(r.Tuples))
+	}
+	// Same GMR regardless of grouping.
+	if len(r.Rewritings) != 1 || r.Rewritings[0].Body[0].Pred != "v4" {
+		t.Errorf("GMRs = %v", r.Rewritings)
+	}
+}
+
+func TestMaxRewritingsCap(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	r, err := CoreCoverStar(q(carLocPartQuery), vs, Options{MaxRewritings: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Errorf("cap ignored: %d rewritings", len(r.Rewritings))
+	}
+}
+
+func TestRewritingHierarchyCarLocPart(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	query := q(carLocPartQuery)
+	p1 := q("q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)")
+	p2 := q("q1(S, C) :- v1(M, a, C), v2(S, M, C)")
+	p3 := q("q1(S, C) :- v3(S), v1(M, a, C), v2(S, M, C)")
+	p4 := q("q1(S, C) :- v4(M, a, C, S)")
+
+	if !IsLocallyMinimal(p1, query, vs) {
+		t.Error("P1 should be an LMR")
+	}
+	if !IsLocallyMinimal(p2, query, vs) {
+		t.Error("P2 should be an LMR")
+	}
+	if IsLocallyMinimal(p3, query, vs) {
+		t.Error("P3 is not an LMR (v3 is removable)")
+	}
+	if !IsMinimalRewriting(p3) {
+		t.Error("P3 is a minimal rewriting as a query")
+	}
+	if !IsLocallyMinimal(p4, query, vs) {
+		t.Error("P4 should be an LMR")
+	}
+
+	// P2 ⊏ P1 as queries (Lemma 3.1 setting).
+	if !containment.ProperlyContains(p2, p1) {
+		t.Error("P2 should be properly contained in P1")
+	}
+	// Lemma 3.1: the contained LMR has no more subgoals.
+	if len(p2.Body) > len(p1.Body) {
+		t.Error("Lemma 3.1 violated")
+	}
+
+	lmrs := []*cq.Query{p1, p2, p4}
+	if IsContainmentMinimal(p1, lmrs) {
+		t.Error("P1 is not containment minimal")
+	}
+	if !IsContainmentMinimal(p2, lmrs) {
+		t.Error("P2 should be containment minimal")
+	}
+}
+
+func TestLocallyMinimizeReachesLMR(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	query := q(carLocPartQuery)
+	p3 := q("q1(S, C) :- v3(S), v1(M, a, C), v2(S, M, C)")
+	lmr := LocallyMinimize(p3, query, vs)
+	if !IsLocallyMinimal(lmr, query, vs) {
+		t.Errorf("LocallyMinimize produced non-LMR %s", lmr)
+	}
+	if len(lmr.Body) != 2 {
+		t.Errorf("expected P2 (2 subgoals), got %s", lmr)
+	}
+}
+
+func TestGMRNotCMRExample(t *testing.T) {
+	// Section 3.2: P1: q(X) :- v(X, B) is a GMR but not a CMR because
+	// P2: q(X) :- v(X, X) is properly contained in it.
+	p1 := q("q(X) :- v(X, B)")
+	p2 := q("q(X) :- v(X, X)")
+	if !containment.ProperlyContains(p2, p1) {
+		t.Error("P2 should be properly contained in P1")
+	}
+	if IsContainmentMinimal(p1, []*cq.Query{p1, p2}) {
+		t.Error("P1 is not containment minimal")
+	}
+	if !IsContainmentMinimal(p2, []*cq.Query{p1, p2}) {
+		t.Error("P2 should be containment minimal")
+	}
+}
+
+func TestPartialOrderFigure2(t *testing.T) {
+	// Figure 2(a): P1 and P5 are equivalent as queries and both properly
+	// contain P2; P4 is below P2. Containment as queries treats view
+	// predicates as opaque, so P5 is first normalized to the class
+	// representative of v5 (which is v1).
+	vs := mustViews(t, carLocPartViews)
+	p1 := q("q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)")
+	p2 := q("q1(S, C) :- v1(M, a, C), v2(S, M, C)")
+	p4 := q("q1(S, C) :- v4(M, a, C, S)")
+	p5 := NormalizeToRepresentatives(
+		q("q1(S, C) :- v1(M, a, C1), v5(M1, a, C), v2(S, M, C)"), vs)
+	rs := []*cq.Query{p1, p2, p4, p5}
+	rel := PartialOrder(rs)
+	if !rel[0][1] {
+		t.Error("P1 should properly contain P2")
+	}
+	if !rel[3][1] {
+		t.Error("P5 should properly contain P2")
+	}
+	if rel[1][0] || rel[1][3] {
+		t.Error("P2 contains nothing here")
+	}
+	// P4 uses a different predicate; it is incomparable to the others.
+	for i := 0; i < 4; i++ {
+		if i != 2 && (rel[2][i] || rel[i][2]) {
+			t.Errorf("P4 should be incomparable to index %d", i)
+		}
+	}
+	bottoms := Bottoms(rel)
+	want := map[int]bool{1: true, 2: true}
+	for _, b := range bottoms {
+		if !want[b] {
+			t.Errorf("unexpected bottom %d", b)
+		}
+	}
+	if len(bottoms) != 2 {
+		t.Errorf("bottoms = %v", bottoms)
+	}
+}
+
+func TestExample31FamilyChain(t *testing.T) {
+	// Figure 2(b) generalized: for m base relations the LMRs form a chain
+	// of length m under proper containment, P1 ⊏ P2 ⊏ ... ⊏ Pm, with P1
+	// containment-minimal and the GMR.
+	for _, m := range []int{2, 3, 4} {
+		query, view, chain := Example31Family(m)
+		vs, err := views.NewSet(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chain) != m {
+			t.Fatalf("m=%d: chain length %d", m, len(chain))
+		}
+		for k, p := range chain {
+			if len(p.Body) != k+1 {
+				t.Errorf("m=%d: P%d has %d subgoals", m, k+1, len(p.Body))
+			}
+			if !vs.IsEquivalentRewriting(p, query) {
+				t.Errorf("m=%d: P%d is not an equivalent rewriting: %s", m, k+1, p)
+			}
+			if !IsLocallyMinimal(p, query, vs) {
+				t.Errorf("m=%d: P%d is not an LMR: %s", m, k+1, p)
+			}
+		}
+		// Proper containment along the chain (Lemma 3.1's partial order).
+		for k := 0; k+1 < len(chain); k++ {
+			if !containment.ProperlyContains(chain[k], chain[k+1]) {
+				t.Errorf("m=%d: P%d should be properly contained in P%d", m, k+1, k+2)
+			}
+		}
+		// P1 is the GMR CoreCover finds.
+		res, err := CoreCover(query, vs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rewritings) != 1 || len(res.Rewritings[0].Body) != 1 {
+			t.Errorf("m=%d: GMRs = %v", m, res.Rewritings)
+		}
+		// P1 is containment minimal among the chain.
+		if !IsContainmentMinimal(chain[0], chain) {
+			t.Errorf("m=%d: P1 should be containment minimal", m)
+		}
+		if m > 1 && IsContainmentMinimal(chain[1], chain) {
+			t.Errorf("m=%d: P2 should not be containment minimal", m)
+		}
+	}
+}
+
+func TestSubgoalSet(t *testing.T) {
+	s := SubgoalSet(0).With(0).With(3).With(5)
+	if s.Count() != 3 || !s.Has(3) || s.Has(1) {
+		t.Errorf("set ops broken: %v", s)
+	}
+	u := Universe(6)
+	if u.Count() != 6 {
+		t.Errorf("Universe(6) = %v", u)
+	}
+	if got := s.LowestMissing(u); got != 1 {
+		t.Errorf("LowestMissing = %d", got)
+	}
+	if got := u.LowestMissing(u); got != -1 {
+		t.Errorf("LowestMissing(full) = %d", got)
+	}
+	if s.String() != "{0, 3, 5}" {
+		t.Errorf("String = %s", s)
+	}
+	if !u.Covers(s) || s.Covers(u) {
+		t.Error("Covers broken")
+	}
+	if s.Minus(SubgoalSet(0).With(3)).Count() != 2 {
+		t.Error("Minus broken")
+	}
+}
+
+func TestCoverSearchMinimum(t *testing.T) {
+	cs := &coverSearch{
+		universe: Universe(4),
+		sets: []SubgoalSet{
+			SubgoalSet(0).With(0).With(1),
+			SubgoalSet(0).With(2).With(3),
+			SubgoalSet(0).With(0).With(1).With(2).With(3),
+			SubgoalSet(0).With(1).With(2),
+		},
+	}
+	covers := cs.MinimumCovers(0, nil)
+	if len(covers) != 1 || len(covers[0]) != 1 || covers[0][0] != 2 {
+		t.Errorf("MinimumCovers = %v", covers)
+	}
+}
+
+func TestCoverSearchAllMinimum(t *testing.T) {
+	cs := &coverSearch{
+		universe: Universe(2),
+		sets: []SubgoalSet{
+			SubgoalSet(0).With(0),
+			SubgoalSet(0).With(1),
+			SubgoalSet(0).With(0),
+		},
+	}
+	covers := cs.MinimumCovers(0, nil)
+	if len(covers) != 2 {
+		t.Errorf("expected 2 minimum covers, got %v", covers)
+	}
+}
+
+func TestCoverSearchIrredundant(t *testing.T) {
+	cs := &coverSearch{
+		universe: Universe(3),
+		sets: []SubgoalSet{
+			SubgoalSet(0).With(0).With(1),
+			SubgoalSet(0).With(1).With(2),
+			SubgoalSet(0).With(0).With(1).With(2),
+			SubgoalSet(0).With(2),
+		},
+	}
+	covers := cs.IrredundantCovers(0, nil)
+	// {0,1}, {2}, {0,3} are irredundant; {1, anything-with-0}: {0,1} only;
+	// {2, ...} with extras is redundant.
+	want := map[string]bool{"0,1,": true, "2,": true, "0,3,": true}
+	if len(covers) != len(want) {
+		t.Fatalf("IrredundantCovers = %v", covers)
+	}
+	for _, c := range covers {
+		if !want[coverKey(c)] {
+			t.Errorf("unexpected cover %v", c)
+		}
+	}
+}
+
+func TestCoverSearchNoCover(t *testing.T) {
+	cs := &coverSearch{
+		universe: Universe(2),
+		sets:     []SubgoalSet{SubgoalSet(0).With(0)},
+	}
+	if covers := cs.MinimumCovers(0, nil); covers != nil {
+		t.Errorf("expected nil, got %v", covers)
+	}
+	if covers := cs.IrredundantCovers(0, nil); covers != nil {
+		t.Errorf("expected nil, got %v", covers)
+	}
+}
+
+func TestOverlappingCoresAllowed(t *testing.T) {
+	// Section 4.3: tuple-cores in a CoreCover rewriting may overlap.
+	// core(va) = {a, b}, core(vb) = {b, c}; the GMR uses both.
+	vs := mustViews(t, `
+		va(X, Y, Z) :- a(X, Y), b(Y, Z).
+		vb(Y, Z, W) :- b(Y, Z), c(Z, W).
+	`)
+	query := q("q(X, Y, Z, W) :- a(X, Y), b(Y, Z), c(Z, W)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rewritings) != 1 {
+		t.Fatalf("GMRs = %v", r.Rewritings)
+	}
+	p := r.Rewritings[0]
+	if len(p.Body) != 2 || !vs.IsEquivalentRewriting(p, query) {
+		t.Errorf("GMR = %s", p)
+	}
+}
+
+func TestCrossTupleVariableConflict(t *testing.T) {
+	// The union of the two tuple-cores covers every query subgoal, yet no
+	// equivalent rewriting exists: the core of vb's tuple maps V to an
+	// existential variable while va's tuple exposes V as an argument, so
+	// the two mappings cannot combine into one containment mapping from
+	// the query to the expansion. Theorem 4.1 leaves this side condition
+	// implicit; CoreCover's verification step must reject the cover and
+	// report that the query has no rewriting.
+	vs := mustViews(t, `
+		va(X, Y) :- a(X, W), b(W, Y), c(Y).
+		vb(X, Y) :- b(X, W), c(W), d(W, Y).
+	`)
+	query := q("q(X, Y) :- a(X, U), b(U, V), c(V), d(V, Y)")
+	r, err := CoreCover(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cores cover the query...
+	cores := SubgoalSet(0)
+	for _, c := range r.Classes {
+		cores = cores.Union(c.Core.Covered)
+	}
+	if !cores.Covers(Universe(len(r.MinimalQuery.Body))) {
+		t.Fatalf("expected full coverage, got %v", cores)
+	}
+	// ...but no combination is an equivalent rewriting.
+	if len(r.Rewritings) != 0 {
+		t.Errorf("expected no rewritings, got %v", r.Rewritings)
+	}
+	// Double-check semantically: the only candidate rewriting is indeed
+	// not equivalent.
+	cand := q("q(X, Y) :- va(X, V), vb(U, Y)")
+	if vs.IsEquivalentRewriting(cand, query) {
+		t.Error("candidate should not be an equivalent rewriting")
+	}
+}
+
+func TestTooManySubgoals(t *testing.T) {
+	body := make([]cq.Atom, 0, 70)
+	head := cq.ParseAtomArgs("q")
+	headArgs := make([]cq.Term, 0)
+	for i := 0; i < 70; i++ {
+		v := cq.Var("X" + itoa(i))
+		body = append(body, cq.NewAtom("p"+itoa(i), v))
+		headArgs = append(headArgs, v)
+	}
+	head.Args = headArgs
+	query := &cq.Query{Head: head, Body: body}
+	vs := mustViews(t, "v(X) :- p0(X).")
+	if _, err := CoreCover(query, vs, Options{}); err == nil {
+		t.Error("expected subgoal-limit error")
+	}
+}

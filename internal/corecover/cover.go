@@ -1,0 +1,197 @@
+package corecover
+
+import "sort"
+
+// coverSearch enumerates covers of a universe by a family of sets.
+// Sets are given once; the search deduplicates covers (as index sets).
+type coverSearch struct {
+	universe SubgoalSet
+	sets     []SubgoalSet
+}
+
+// MinimumCovers returns every minimum-cardinality cover of the universe
+// accepted by the verifier, each as a sorted slice of set indexes. The
+// verifier may reject covers whose per-tuple mappings cannot be combined
+// into a containment mapping (see the package comment on the Theorem 4.1
+// side condition); passing nil accepts everything. It returns nil if no
+// acceptable cover exists. maxCovers > 0 caps the number returned.
+func (cs *coverSearch) MinimumCovers(maxCovers int, accept func([]int) bool) [][]int {
+	if cs.universe.IsEmpty() {
+		return [][]int{{}}
+	}
+	// Iterative deepening on cover size: sizes are tiny (≤ #subgoals).
+	maxSize := cs.universe.Count()
+	if len(cs.sets) < maxSize {
+		maxSize = len(cs.sets)
+	}
+	if !cs.coverable() {
+		return nil
+	}
+	for k := 1; k <= maxSize; k++ {
+		covers := cs.coversOfSize(k, 0)
+		if accept != nil {
+			covers = filterCovers(covers, accept)
+		}
+		if maxCovers > 0 && len(covers) > maxCovers {
+			covers = covers[:maxCovers]
+		}
+		if len(covers) > 0 {
+			return covers
+		}
+	}
+	return nil
+}
+
+func filterCovers(covers [][]int, accept func([]int) bool) [][]int {
+	out := covers[:0]
+	for _, c := range covers {
+		if accept(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// coverable reports whether the union of all sets covers the universe.
+func (cs *coverSearch) coverable() bool {
+	var u SubgoalSet
+	for _, s := range cs.sets {
+		u = u.Union(s)
+	}
+	return u.Covers(cs.universe)
+}
+
+// coversOfSize enumerates all covers using exactly k sets (no set chosen
+// twice; subsets enumerated in increasing index order so each cover
+// appears once). Simple suffix-union pruning bounds the search.
+func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
+	n := len(cs.sets)
+	// suffixUnion[i] = union of sets[i:].
+	suffixUnion := make([]SubgoalSet, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixUnion[i] = suffixUnion[i+1].Union(cs.sets[i])
+	}
+	var out [][]int
+	chosen := make([]int, 0, k)
+	var rec func(start int, covered SubgoalSet) bool
+	rec = func(start int, covered SubgoalSet) bool {
+		if len(chosen) == k {
+			if covered.Covers(cs.universe) {
+				out = append(out, append([]int(nil), chosen...))
+				return maxCovers <= 0 || len(out) < maxCovers
+			}
+			return true
+		}
+		remaining := k - len(chosen)
+		for i := start; i+remaining <= n; i++ {
+			// Prune: even taking everything from i on cannot cover.
+			if !covered.Union(suffixUnion[i]).Covers(cs.universe) {
+				return true
+			}
+			// Prune: set adds nothing new (a cover of size k using a
+			// useless set is never minimum: dropping it yields a cover of
+			// size k-1, which the previous depth would have found).
+			add := cs.sets[i].Minus(covered)
+			if add.IsEmpty() {
+				continue
+			}
+			chosen = append(chosen, i)
+			more := rec(i+1, covered.Union(cs.sets[i]))
+			chosen = chosen[:len(chosen)-1]
+			if !more {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+	return out
+}
+
+// IrredundantCovers enumerates every irredundant cover accepted by the
+// verifier: a cover in which each chosen set covers at least one element
+// no other chosen set covers. These correspond to the minimal rewritings
+// using view tuples that CoreCover* searches (Section 5). maxCovers > 0
+// caps the result; accept may be nil.
+func (cs *coverSearch) IrredundantCovers(maxCovers int, accept func([]int) bool) [][]int {
+	if cs.universe.IsEmpty() {
+		return [][]int{{}}
+	}
+	if !cs.coverable() {
+		return nil
+	}
+	seen := make(map[string]struct{})
+	var out [][]int
+	chosen := make([]int, 0, len(cs.sets))
+	var rec func(covered SubgoalSet) bool
+	rec = func(covered SubgoalSet) bool {
+		if covered.Covers(cs.universe) {
+			if !cs.irredundant(chosen) {
+				return true
+			}
+			key := coverKey(chosen)
+			if _, dup := seen[key]; dup {
+				return true
+			}
+			seen[key] = struct{}{}
+			sorted := append([]int(nil), chosen...)
+			sort.Ints(sorted)
+			if accept != nil && !accept(sorted) {
+				return true
+			}
+			out = append(out, sorted)
+			return maxCovers <= 0 || len(out) < maxCovers
+		}
+		e := covered.LowestMissing(cs.universe)
+		for i, s := range cs.sets {
+			if !s.Has(e) || contains(chosen, i) {
+				continue
+			}
+			chosen = append(chosen, i)
+			more := rec(covered.Union(s))
+			chosen = chosen[:len(chosen)-1]
+			if !more {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// irredundant reports whether every chosen set has a private element.
+func (cs *coverSearch) irredundant(chosen []int) bool {
+	for _, i := range chosen {
+		others := SubgoalSet(0)
+		for _, j := range chosen {
+			if j != i {
+				others = others.Union(cs.sets[j])
+			}
+		}
+		if cs.sets[i].Intersect(cs.universe).Minus(others).IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+func coverKey(chosen []int) string {
+	sorted := append([]int(nil), chosen...)
+	sort.Ints(sorted)
+	b := make([]byte, 0, len(sorted)*3)
+	for _, i := range sorted {
+		b = append(b, itoa(i)...)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func contains(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

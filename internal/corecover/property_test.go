@@ -1,0 +1,284 @@
+package corecover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/naive"
+	"viewplan/internal/workload"
+)
+
+// randomInstance draws a workload instance small enough for the naive
+// cross-check. Seeds come from testing/quick and may be negative.
+func randomInstance(seed int64, shape workload.Shape) *workload.Instance {
+	s := seed
+	if s < 0 {
+		s = -(s + 1) // avoid MinInt64 overflow
+	}
+	inst, err := workload.Generate(workload.Config{
+		Shape:            shape,
+		QuerySubgoals:    4 + int(s%3),
+		NumViews:         10 + int(s%20),
+		Nondistinguished: int(s % 2),
+		Seed:             seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+func shapeFor(seed int64) workload.Shape {
+	s := seed
+	if s < 0 {
+		s = -(s + 1)
+	}
+	switch s % 3 {
+	case 0:
+		return workload.Star
+	case 1:
+		return workload.Chain
+	}
+	return workload.Random
+}
+
+// Every rewriting CoreCover emits must be an equivalent rewriting.
+func TestQuickGMRsAreEquivalentRewritings(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := randomInstance(seed, shapeFor(seed))
+		res, err := CoreCover(inst.Query, inst.Views, Options{})
+		if err != nil {
+			return false
+		}
+		for _, p := range res.Rewritings {
+			if !inst.Views.IsEquivalentRewriting(p, inst.Query) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// All GMRs have the same (minimum) size, and no CoreCover* rewriting is
+// smaller.
+func TestQuickGMRSizeIsMinimum(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := randomInstance(seed, shapeFor(seed))
+		gmr, err := CoreCover(inst.Query, inst.Views, Options{})
+		if err != nil {
+			return false
+		}
+		star, err := CoreCoverStar(inst.Query, inst.Views, Options{})
+		if err != nil {
+			return false
+		}
+		if len(gmr.Rewritings) == 0 {
+			// No GMR implies no rewriting at all.
+			return len(star.Rewritings) == 0
+		}
+		k := len(gmr.Rewritings[0].Body)
+		for _, p := range gmr.Rewritings {
+			if len(p.Body) != k {
+				return false
+			}
+		}
+		for _, p := range star.Rewritings {
+			if len(p.Body) < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// CoreCover agrees with the naive Theorem 3.1 enumeration on GMR
+// existence and size.
+func TestQuickAgreesWithNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := randomInstance(seed%1000, shapeFor(seed)) // keep tuples small
+		cc, err := CoreCover(inst.Query, inst.Views, Options{})
+		if err != nil {
+			return false
+		}
+		nv, err := naive.GMRs(inst.Query, inst.Views, naive.Options{MaxRewritings: 1})
+		if err != nil {
+			return false
+		}
+		if (len(cc.Rewritings) > 0) != (len(nv) > 0) {
+			return false
+		}
+		if len(nv) > 0 && len(cc.Rewritings[0].Body) != len(nv[0].Body) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Grouping ablation: enabling/disabling equivalence-class grouping never
+// changes GMR existence or size.
+func TestQuickGroupingDoesNotChangeGMRs(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := randomInstance(seed, shapeFor(seed))
+		with, err := CoreCover(inst.Query, inst.Views, Options{})
+		if err != nil {
+			return false
+		}
+		without, err := CoreCover(inst.Query, inst.Views, Options{
+			DisableViewGrouping:  true,
+			DisableTupleGrouping: true,
+		})
+		if err != nil {
+			return false
+		}
+		if (len(with.Rewritings) > 0) != (len(without.Rewritings) > 0) {
+			return false
+		}
+		if len(with.Rewritings) > 0 &&
+			len(with.Rewritings[0].Body) != len(without.Rewritings[0].Body) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Tuple-cores are sound: the witnessing mapping embeds every covered
+// subgoal into the tuple's expansion.
+func TestQuickTupleCoreMappingValid(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := randomInstance(seed, shapeFor(seed))
+		minQ := containment.Minimize(inst.Query)
+		if len(minQ.Body) > MaxSubgoals {
+			return true
+		}
+		res, err := CoreCover(inst.Query, inst.Views, Options{})
+		if err != nil {
+			return false
+		}
+		cc := newCoreComputer(res.MinimalQuery)
+		for _, vt := range res.Tuples {
+			core, err := cc.Compute(vt)
+			if err != nil {
+				return false
+			}
+			for _, gi := range core.Covered.Elements() {
+				img := core.Mapping.Atom(res.MinimalQuery.Body[gi])
+				found := false
+				for _, e := range core.Expansion {
+					if e.Equal(img) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The minimum-cover search never returns a cover with a useless member.
+func TestQuickCoversAreIrredundantAtMinimum(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := randomInstance(seed, shapeFor(seed))
+		res, err := CoreCover(inst.Query, inst.Views, Options{})
+		if err != nil {
+			return false
+		}
+		universe := Universe(len(res.MinimalQuery.Body))
+		for _, cover := range res.Covers {
+			for skip := range cover {
+				var u SubgoalSet
+				for i, ci := range cover {
+					if i != skip {
+						u = u.Union(res.Classes[ci].Core.Covered)
+					}
+				}
+				if u.Covers(universe) {
+					return false // dropping a member still covers: not minimum
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Random cover-search inputs: every minimum cover covers the universe and
+// has minimum cardinality (cross-checked against a brute-force search).
+func TestQuickCoverSearch(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + rnd.Intn(8)
+		universe := Universe(n)
+		nSets := 1 + rnd.Intn(10)
+		sets := make([]SubgoalSet, nSets)
+		for i := range sets {
+			for b := 0; b < n; b++ {
+				if rnd.Intn(3) == 0 {
+					sets[i] = sets[i].With(b)
+				}
+			}
+		}
+		cs := &coverSearch{universe: universe, sets: sets}
+		covers := cs.MinimumCovers(0, nil)
+
+		// Brute force over all subsets.
+		bestSize := -1
+		for mask := 1; mask < 1<<uint(nSets); mask++ {
+			var u SubgoalSet
+			size := 0
+			for i := 0; i < nSets; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					u = u.Union(sets[i])
+					size++
+				}
+			}
+			if u.Covers(universe) && (bestSize == -1 || size < bestSize) {
+				bestSize = size
+			}
+		}
+		if bestSize == -1 {
+			return covers == nil
+		}
+		if len(covers) == 0 {
+			return false
+		}
+		for _, c := range covers {
+			if len(c) != bestSize {
+				return false
+			}
+			var u SubgoalSet
+			for _, i := range c {
+				u = u.Union(sets[i])
+			}
+			if !u.Covers(universe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

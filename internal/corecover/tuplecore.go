@@ -1,0 +1,280 @@
+package corecover
+
+import (
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+// TupleCore is the tuple-core of a view tuple (Definition 4.1): the unique
+// maximal set of query subgoals covered by the tuple, together with the
+// witnessing mapping from the covered subgoals' variables into the
+// tuple's expansion.
+type TupleCore struct {
+	// Tuple is the view tuple the core belongs to.
+	Tuple views.Tuple
+	// Covered is the set of covered subgoal indexes of the minimized query.
+	Covered SubgoalSet
+	// Mapping sends each variable of the covered subgoals to its image in
+	// the tuple's expansion: the identity on variables shared with the
+	// tuple, and fresh existential variables otherwise.
+	Mapping cq.Subst
+	// Expansion is the tuple's expansion body used by the mapping.
+	Expansion []cq.Atom
+}
+
+// IsEmpty reports an empty tuple-core. Empty-core tuples cover no query
+// subgoal but remain useful to the M2 optimizer as filters (the paper's
+// view v3 in the car-loc-part example).
+func (c TupleCore) IsEmpty() bool { return c.Covered.IsEmpty() }
+
+// coreComputer carries the per-query state shared by all tuple-core
+// computations: the minimized query, its distinguished variables, and the
+// per-subgoal variable lists.
+type coreComputer struct {
+	q    *cq.Query
+	head cq.VarSet
+}
+
+func newCoreComputer(q *cq.Query) *coreComputer {
+	return &coreComputer{q: q, head: q.HeadVars()}
+}
+
+// Compute returns the tuple-core of vt for the minimized query.
+//
+// The computation exploits a structural consequence of Definition 4.1
+// (see DESIGN.md): a query variable not among the tuple's arguments must
+// map to an existential variable of the tuple's expansion, so Property (3)
+// closes candidate subgoal sets under "shares a non-tuple variable". The
+// body therefore partitions into closure units; the core is the largest
+// union of units that admits a single injective mapping, found by a
+// branch-and-bound over units (in practice the union of all individually
+// coverable units, which Lemma 4.2 guarantees to be consistent).
+func (cc *coreComputer) Compute(vt views.Tuple) (TupleCore, error) {
+	gen := cq.NewFreshGen("_E", cc.q.Vars())
+	exp, existentials, err := vt.Expansion(gen)
+	if err != nil {
+		return TupleCore{}, err
+	}
+	exSet := make(cq.VarSet, len(existentials))
+	for _, v := range existentials {
+		exSet.Add(v)
+	}
+	tvArgs := make(cq.TermSet, len(vt.Atom.Args))
+	for _, t := range vt.Atom.Args {
+		tvArgs.Add(t)
+	}
+
+	units := cc.closureUnits(tvArgs)
+
+	// Filter units that cannot possibly be covered: a distinguished query
+	// variable inside a unit must appear among the tuple's arguments
+	// (Property 2), and each subgoal must be individually embeddable.
+	var candidates []SubgoalSet
+	for _, u := range units {
+		if cc.unitAdmissible(u, tvArgs) && cc.mapUnits(nil, []SubgoalSet{u}, tvArgs, exSet, exp) != nil {
+			candidates = append(candidates, u)
+		}
+	}
+
+	// Try the union of all coverable units first (the common, guaranteed
+	// case); fall back to branch and bound over unit subsets if a joint
+	// mapping does not exist (defensive: Lemma 4.2 says it always does for
+	// minimized queries).
+	if m := cc.mapUnits(nil, candidates, tvArgs, exSet, exp); m != nil {
+		return TupleCore{Tuple: vt, Covered: unionAll(candidates), Mapping: m, Expansion: exp}, nil
+	}
+	bestSet, bestMap := cc.bestUnion(candidates, tvArgs, exSet, exp)
+	return TupleCore{Tuple: vt, Covered: bestSet, Mapping: bestMap, Expansion: exp}, nil
+}
+
+func unionAll(sets []SubgoalSet) SubgoalSet {
+	var u SubgoalSet
+	for _, s := range sets {
+		u = u.Union(s)
+	}
+	return u
+}
+
+// closureUnits partitions the query body into minimal sets closed under
+// "if a non-tuple variable occurs in the set, all subgoals using it are in
+// the set": connected components of the graph linking subgoals that share
+// a variable outside tvArgs.
+func (cc *coreComputer) closureUnits(tvArgs cq.TermSet) []SubgoalSet {
+	n := len(cc.q.Body)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	byVar := make(map[cq.Var][]int)
+	for i, a := range cc.q.Body {
+		for _, t := range a.Args {
+			if v, ok := t.(cq.Var); ok && !tvArgs.Has(v) {
+				byVar[v] = append(byVar[v], i)
+			}
+		}
+	}
+	for _, idxs := range byVar {
+		for k := 1; k < len(idxs); k++ {
+			union(idxs[0], idxs[k])
+		}
+	}
+	comp := make(map[int]SubgoalSet)
+	var order []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := comp[r]; !ok {
+			order = append(order, r)
+		}
+		comp[r] = comp[r].With(i)
+	}
+	out := make([]SubgoalSet, 0, len(order))
+	for _, r := range order {
+		out = append(out, comp[r])
+	}
+	return out
+}
+
+// unitAdmissible performs the cheap Property-2 check: every distinguished
+// query variable occurring in the unit must be among the tuple's
+// arguments (otherwise it would have to map to an existential variable of
+// the expansion, which Property 2 forbids).
+func (cc *coreComputer) unitAdmissible(u SubgoalSet, tvArgs cq.TermSet) bool {
+	for _, i := range u.Elements() {
+		for _, t := range cc.q.Body[i].Args {
+			v, ok := t.(cq.Var)
+			if !ok {
+				continue
+			}
+			if cc.head.Has(v) && !tvArgs.Has(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mapUnits searches for a single mapping covering all given units jointly:
+// identity on tuple arguments, injective fresh-existential images for the
+// remaining variables, every subgoal embedded in the expansion. It returns
+// the mapping, or nil if none exists. init seeds the mapping (used by the
+// subset search); it is not modified.
+func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.TermSet, exSet cq.VarSet, exp []cq.Atom) cq.Subst {
+	var goals []int
+	for _, u := range units {
+		goals = append(goals, u.Elements()...)
+	}
+	s := cq.NewSubst()
+	usedEx := make(cq.TermSet)
+	for v, img := range init {
+		s[v] = img
+		if iv, ok := img.(cq.Var); ok && exSet.Has(iv) {
+			usedEx.Add(img)
+		}
+	}
+	var rec func(gi int) bool
+	rec = func(gi int) bool {
+		if gi == len(goals) {
+			return true
+		}
+		a := cc.q.Body[goals[gi]]
+		for _, cand := range exp {
+			if cand.Pred != a.Pred || len(cand.Args) != len(a.Args) {
+				continue
+			}
+			var trail []cq.Var
+			var exTrail []cq.Term
+			ok := true
+			for j := range a.Args {
+				src, dst := a.Args[j], cand.Args[j]
+				if tvArgs.Has(src) || cq.IsConst(src) {
+					// Identity on tuple arguments and constants.
+					if src != dst {
+						ok = false
+					}
+				} else {
+					v := src.(cq.Var)
+					if img, bound := s[v]; bound {
+						if img != dst {
+							ok = false
+						}
+					} else {
+						// Must land on an existential variable of the
+						// expansion, not yet used by another variable.
+						dv, isVar := dst.(cq.Var)
+						if !isVar || !exSet.Has(dv) || usedEx.Has(dst) {
+							ok = false
+						} else {
+							s[v] = dst
+							usedEx.Add(dst)
+							trail = append(trail, v)
+							exTrail = append(exTrail, dst)
+						}
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok && rec(gi+1) {
+				return true
+			}
+			for k := range trail {
+				delete(s, trail[k])
+			}
+			for _, e := range exTrail {
+				delete(usedEx, e)
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil
+	}
+	// Record identity images for shared variables too, so the mapping is a
+	// complete witness over the covered subgoals' variables.
+	for _, gi := range goals {
+		for _, t := range cc.q.Body[gi].Args {
+			if v, ok := t.(cq.Var); ok && tvArgs.Has(v) {
+				s[v] = v
+			}
+		}
+	}
+	return s
+}
+
+// bestUnion finds the largest (by covered subgoals) union of units that
+// admits a joint mapping. Defensive fallback; unit counts are tiny.
+func (cc *coreComputer) bestUnion(units []SubgoalSet, tvArgs cq.TermSet, exSet cq.VarSet, exp []cq.Atom) (SubgoalSet, cq.Subst) {
+	var bestSet SubgoalSet
+	var bestMap cq.Subst
+	var rec func(i int, chosen []SubgoalSet)
+	rec = func(i int, chosen []SubgoalSet) {
+		if i == len(units) {
+			u := unionAll(chosen)
+			if u.Count() > bestSet.Count() {
+				if m := cc.mapUnits(nil, chosen, tvArgs, exSet, exp); m != nil {
+					bestSet, bestMap = u, m
+				}
+			}
+			return
+		}
+		rec(i+1, append(chosen, units[i]))
+		rec(i+1, chosen)
+	}
+	rec(0, nil)
+	return bestSet, bestMap
+}

@@ -1,0 +1,250 @@
+package cost
+
+import (
+	"fmt"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+)
+
+// PlanM2 simulates the M2 physical plan of rewriting p that joins the
+// subgoals in the given order, retaining all attributes (IR_i), and
+// returns the plan with measured sizes and cost. A nil order means the
+// body's own order.
+func PlanM2(db *engine.Database, p *cq.Query, order []int) (*Plan, error) {
+	n := len(p.Body)
+	if order == nil {
+		order = identityOrder(n)
+	}
+	if err := validOrder(order, n); err != nil {
+		return nil, err
+	}
+	sizes, err := viewSizes(db, p)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Model: M2, Rewriting: p.Clone(), Order: append([]int(nil), order...)}
+	cur := engine.UnitVarRelation()
+	for _, idx := range order {
+		cur, err = db.JoinStep(cur, p.Body[idx], nil)
+		if err != nil {
+			return nil, err
+		}
+		plan.Steps = append(plan.Steps, Step{
+			Subgoal:    p.Body[idx].Clone(),
+			ViewSize:   sizes[idx],
+			Retained:   append([]cq.Var(nil), cur.Schema...),
+			ResultSize: cur.Size(),
+		})
+		plan.Cost += sizes[idx] + cur.Size()
+	}
+	return plan, nil
+}
+
+// maxDPSubgoals bounds the subset dynamic program (2^n intermediate
+// relations are materialized).
+const maxDPSubgoals = 16
+
+// BestPlanM2 finds a minimum-cost M2 plan for rewriting p over db.
+//
+// Because IR_i retains all attributes, it is the natural join of the
+// *set* of subgoals processed so far — independent of their order. The
+// view-size term Σ size(g_i) is likewise order-independent. The optimizer
+// therefore minimizes Σ size(IR_S) over chains ∅ ⊂ S_1 ⊂ ... ⊂ S_n with a
+// best-first (Dijkstra) search over the subset lattice: step weights
+// (size(g) + size(IR_target)) are nonnegative, so the first time the full
+// set is popped its chain is optimal. Cross-product subsets get enormous
+// intermediate sizes and are relaxed but never expanded, which keeps the
+// search from materializing the exponential blowup an eager subset DP
+// would hit.
+func BestPlanM2(db *engine.Database, p *cq.Query) (*Plan, error) {
+	n := len(p.Body)
+	if n == 0 {
+		return nil, fmt.Errorf("cost: empty rewriting body")
+	}
+	if n > maxDPSubgoals {
+		return nil, fmt.Errorf("cost: %d subgoals exceeds the M2 optimizer limit of %d", n, maxDPSubgoals)
+	}
+	sizes, err := viewSizes(db, p)
+	if err != nil {
+		return nil, err
+	}
+
+	total := 1 << uint(n)
+	full := total - 1
+	rels := make([]*engine.VarRelation, total)
+	rels[0] = engine.UnitVarRelation()
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, total)
+	choice := make([]int, total)
+	done := make([]bool, total)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+
+	pq := &maskHeap{{mask: 0, dist: 0}}
+	for pq.Len() > 0 {
+		cur := pq.pop()
+		if done[cur.mask] || cur.dist > dist[cur.mask] {
+			continue
+		}
+		done[cur.mask] = true
+		if cur.mask == full {
+			break
+		}
+		for g := 0; g < n; g++ {
+			bit := 1 << uint(g)
+			if cur.mask&bit != 0 {
+				continue
+			}
+			next := cur.mask | bit
+			if done[next] {
+				continue
+			}
+			if rels[next] == nil {
+				rels[next], err = db.JoinStep(rels[cur.mask], p.Body[g], nil)
+				if err != nil {
+					return nil, err
+				}
+			}
+			w := sizes[g] + rels[next].Size()
+			if d := cur.dist + w; d < dist[next] {
+				dist[next] = d
+				choice[next] = g
+				pq.push(maskItem{mask: next, dist: d})
+			}
+		}
+	}
+	if dist[full] == inf {
+		return nil, fmt.Errorf("cost: internal error: full join unreachable")
+	}
+
+	// Reconstruct the order.
+	order := make([]int, 0, n)
+	for mask := full; mask != 0; {
+		g := choice[mask]
+		order = append(order, g)
+		mask &^= 1 << uint(g)
+	}
+	reverse(order)
+
+	plan := &Plan{Model: M2, Rewriting: p.Clone(), Order: order}
+	mask := 0
+	for _, idx := range order {
+		mask |= 1 << uint(idx)
+		plan.Steps = append(plan.Steps, Step{
+			Subgoal:    p.Body[idx].Clone(),
+			ViewSize:   sizes[idx],
+			Retained:   append([]cq.Var(nil), rels[mask].Schema...),
+			ResultSize: rels[mask].Size(),
+		})
+		plan.Cost += sizes[idx] + rels[mask].Size()
+	}
+	return plan, nil
+}
+
+// BestPlanM2Exhaustive cross-checks BestPlanM2 by trying every
+// permutation. It is exposed for tests and the optimizer ablation
+// benchmark; n is capped to keep factorial growth in check.
+func BestPlanM2Exhaustive(db *engine.Database, p *cq.Query) (*Plan, error) {
+	n := len(p.Body)
+	if n > 9 {
+		return nil, fmt.Errorf("cost: %d subgoals exceeds the exhaustive limit of 9", n)
+	}
+	var best *Plan
+	err := forEachPermutation(n, func(order []int) error {
+		plan, err := PlanM2(db, p, order)
+		if err != nil {
+			return err
+		}
+		if best == nil || plan.Cost < best.Cost {
+			best = plan
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// maskItem is a subset-lattice node in the Dijkstra frontier.
+type maskItem struct {
+	mask int
+	dist int
+}
+
+// maskHeap is a minimal binary min-heap on dist (stdlib container/heap
+// would need an interface wrapper; the heap is small and hot).
+type maskHeap []maskItem
+
+func (h *maskHeap) Len() int { return len(*h) }
+
+func (h *maskHeap) push(it maskItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *maskHeap) pop() maskItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && (*h)[l].dist < (*h)[small].dist {
+			small = l
+		}
+		if r < last && (*h)[r].dist < (*h)[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+func reverse(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// forEachPermutation invokes fn with every permutation of 0..n-1 (Heap's
+// algorithm). fn must not retain the slice.
+func forEachPermutation(n int, fn func([]int) error) error {
+	perm := identityOrder(n)
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == 1 {
+			return fn(perm)
+		}
+		for i := 0; i < k; i++ {
+			if err := rec(k - 1); err != nil {
+				return err
+			}
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+		return nil
+	}
+	return rec(n)
+}

@@ -1,0 +1,182 @@
+package cost
+
+import (
+	"fmt"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+	"viewplan/internal/views"
+)
+
+// DropStrategy selects how an M3 plan decides which attributes to drop
+// after each step.
+type DropStrategy int
+
+const (
+	// SupplementaryRelations is the classical rule [Beeri & Ramakrishnan]:
+	// drop a variable once it appears neither in the head nor in any
+	// subsequent subgoal.
+	SupplementaryRelations DropStrategy = iota
+	// RenamingHeuristic is the paper's Section 6.2 rule: additionally drop
+	// a variable used by a later subgoal when renaming its occurrences in
+	// the processed prefix to a fresh variable leaves the rewriting
+	// equivalent to the query. Dropping such a variable removes an
+	// equality comparison from the later join, which the simulation
+	// honours (the variable rebinds freshly).
+	RenamingHeuristic
+)
+
+// String names the strategy.
+func (s DropStrategy) String() string {
+	if s == RenamingHeuristic {
+		return "renaming-heuristic"
+	}
+	return "supplementary-relations"
+}
+
+// Drops computes the per-step drop annotation X_i for rewriting p
+// processed in the given order. For the RenamingHeuristic, q and vs
+// provide the original query and view definitions the equivalence test
+// runs against. The cumulative effect of earlier renames is carried
+// forward, so each additional drop is tested against the already-renamed
+// rewriting (dropping two individually-safe variables must be jointly
+// safe).
+func Drops(strategy DropStrategy, p *cq.Query, order []int, q *cq.Query, vs *views.Set) ([][]cq.Var, error) {
+	n := len(p.Body)
+	if order == nil {
+		order = identityOrder(n)
+	}
+	if err := validOrder(order, n); err != nil {
+		return nil, err
+	}
+	if strategy == RenamingHeuristic && (q == nil || vs == nil) {
+		return nil, fmt.Errorf("cost: the renaming heuristic needs the original query and views")
+	}
+
+	// Work on the body in execution order.
+	work := p.KeepSubgoals(order)
+	head := work.HeadVars()
+	gen := cq.NewFreshGen("_D", work.Vars())
+
+	drops := make([][]cq.Var, n)
+	retained := make(cq.VarSet)
+	for i := 0; i < n; i++ {
+		work.Body[i].Vars(retained)
+		usedLater := make(cq.VarSet)
+		for j := i + 1; j < n; j++ {
+			work.Body[j].Vars(usedLater)
+		}
+		for _, v := range retained.Sorted() {
+			if head.Has(v) {
+				continue
+			}
+			if !usedLater.Has(v) {
+				// Classical supplementary-relation rule.
+				drops[i] = append(drops[i], v)
+				delete(retained, v)
+				continue
+			}
+			if strategy != RenamingHeuristic {
+				continue
+			}
+			// Rename v's occurrences in the processed prefix; if the
+			// renamed rewriting is still equivalent to the query, v can be
+			// dropped here (the later occurrence rebinds independently).
+			fresh := gen.Fresh()
+			cand := work.Clone()
+			ren := cq.Subst{v: fresh}
+			for j := 0; j <= i; j++ {
+				cand.Body[j] = ren.Atom(cand.Body[j])
+			}
+			if vs.IsEquivalentRewriting(cand, q) {
+				work = cand
+				drops[i] = append(drops[i], v)
+				delete(retained, v)
+			}
+		}
+	}
+	return drops, nil
+}
+
+// PlanM3 simulates the M3 physical plan of p over db with the given order
+// and per-step drop annotations, measuring the generalized supplementary
+// relation GSR_i after each step. Joins match only on retained shared
+// variables: once a variable is dropped, a later subgoal mentioning it
+// rebinds it freshly (the equality comparison is gone), exactly the
+// semantics of the Section 6.2 heuristic.
+func PlanM3(db *engine.Database, p *cq.Query, order []int, drops [][]cq.Var) (*Plan, error) {
+	n := len(p.Body)
+	if order == nil {
+		order = identityOrder(n)
+	}
+	if err := validOrder(order, n); err != nil {
+		return nil, err
+	}
+	if len(drops) != n {
+		return nil, fmt.Errorf("cost: %d drop annotations for %d subgoals", len(drops), n)
+	}
+	sizes, err := viewSizes(db, p)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Model: M3, Rewriting: p.Clone(), Order: append([]int(nil), order...)}
+	cur := engine.UnitVarRelation()
+	retained := make(cq.VarSet)
+	for step, idx := range order {
+		p.Body[idx].Vars(retained)
+		for _, v := range drops[step] {
+			delete(retained, v)
+		}
+		keep := retained.Sorted()
+		cur, err = db.JoinStep(cur, p.Body[idx], keep)
+		if err != nil {
+			return nil, err
+		}
+		plan.Steps = append(plan.Steps, Step{
+			Subgoal:    p.Body[idx].Clone(),
+			ViewSize:   sizes[idx],
+			Dropped:    append([]cq.Var(nil), drops[step]...),
+			Retained:   keep,
+			ResultSize: cur.Size(),
+		})
+		plan.Cost += sizes[idx] + cur.Size()
+	}
+	return plan, nil
+}
+
+// maxM3Subgoals bounds the exhaustive order search of BestPlanM3.
+const maxM3Subgoals = 8
+
+// BestPlanM3 finds a minimum-cost M3 plan for p over db by trying every
+// subgoal order, computing the drop annotation for each order under the
+// strategy, and simulating the plan. Under M3 the intermediate sizes
+// depend on the order (drops differ per order), so no subset DP applies;
+// the body sizes in this problem domain are small.
+func BestPlanM3(db *engine.Database, p *cq.Query, strategy DropStrategy, q *cq.Query, vs *views.Set) (*Plan, error) {
+	n := len(p.Body)
+	if n == 0 {
+		return nil, fmt.Errorf("cost: empty rewriting body")
+	}
+	if n > maxM3Subgoals {
+		return nil, fmt.Errorf("cost: %d subgoals exceeds the M3 optimizer limit of %d", n, maxM3Subgoals)
+	}
+	var best *Plan
+	err := forEachPermutation(n, func(order []int) error {
+		drops, err := Drops(strategy, p, order, q, vs)
+		if err != nil {
+			return err
+		}
+		plan, err := PlanM3(db, p, order, drops)
+		if err != nil {
+			return err
+		}
+		if best == nil || plan.Cost < best.Cost {
+			best = plan
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}

@@ -1,0 +1,152 @@
+package cost
+
+// Section 5.3 of the paper defines a cost model M as *containment
+// monotonic* when, for rewritings P1 and P2, a containment mapping from
+// P1 to P2 whose image includes every subgoal of P2 implies
+// costM(P2) ≤ costM(P1). Theorem 5.1's restriction to minimal
+// view-tuple rewritings generalizes to any containment-monotonic model.
+// These tests observe the property executably for M1 and M2 on the
+// paper's own rewriting pairs and on random instances.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/corecover"
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+	"viewplan/internal/views"
+	"viewplan/internal/workload"
+)
+
+// surjectiveOnto reports whether some containment mapping from p1 to p2
+// maps the subgoals of p1 onto ALL subgoals of p2 (the Section 5.3
+// condition).
+func surjectiveOnto(p1, p2 *cq.Query) bool {
+	found := false
+	init := cq.NewSubst()
+	ok := true
+	for i := range p1.Head.Args {
+		if !init.Match(p1.Head.Args[i], p2.Head.Args[i]) {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		return false
+	}
+	containment.Homs(p1.Body, p2.Body, init, func(h cq.Subst) bool {
+		covered := make(map[string]bool, len(p2.Body))
+		for _, a := range p1.Body {
+			covered[h.Atom(a).String()] = true
+		}
+		for _, b := range p2.Body {
+			if !covered[b.String()] {
+				return true // try another mapping
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func TestM1ContainmentMonotonicPaperPair(t *testing.T) {
+	// P1 and P2 from the car-loc-part example: the identity-style mapping
+	// from P1 to P2 covers both P2 subgoals, and costM1(P2) ≤ costM1(P1).
+	p1 := cq.MustParseQuery("q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)")
+	p2 := cq.MustParseQuery("q1(S, C) :- v1(M, a, C), v2(S, M, C)")
+	if !surjectiveOnto(p1, p2) {
+		t.Fatal("expected a surjective containment mapping from P1 to P2")
+	}
+	if M1Cost(p2) > M1Cost(p1) {
+		t.Errorf("M1 not monotonic: %d > %d", M1Cost(p2), M1Cost(p1))
+	}
+}
+
+func TestM2ContainmentMonotonicPaperPair(t *testing.T) {
+	vs, err := views.ParseSet(`
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDatabase()
+	gen := engine.NewDataGen(11, 8)
+	gen.Fill(db, "car", 2, 40)
+	gen.Fill(db, "loc", 2, 40)
+	gen.Fill(db, "part", 3, 60)
+	if err := db.MaterializeViews(vs); err != nil {
+		t.Fatal(err)
+	}
+	p1 := cq.MustParseQuery("q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)")
+	p2 := cq.MustParseQuery("q1(S, C) :- v1(M, a, C), v2(S, M, C)")
+	c1, err := BestPlanM2(db, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BestPlanM2(db, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Cost > c1.Cost {
+		t.Errorf("M2 not monotonic on the paper pair: %d > %d", c2.Cost, c1.Cost)
+	}
+}
+
+// Random instances: whenever one CoreCover* rewriting maps surjectively
+// onto another, the smaller one's best M2 plan is at most as costly
+// (Lemma 5.1's engine-level counterpart).
+func TestQuickM2ContainmentMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		inst, err := workload.Generate(workload.Config{
+			Shape:         workload.Chain,
+			QuerySubgoals: 4,
+			NumViews:      12,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := corecover.CoreCoverStar(inst.Query, inst.Views, corecover.Options{MaxRewritings: 4})
+		if err != nil || len(res.Rewritings) < 2 {
+			return true
+		}
+		db := engine.NewDatabase()
+		gen := engine.NewDataGen(seed+5, 5)
+		gen.FillForQuery(db, inst.Query, 20)
+		if err := db.MaterializeViews(inst.Views); err != nil {
+			return false
+		}
+		for _, pa := range res.Rewritings {
+			for _, pb := range res.Rewritings {
+				if pa == pb || len(pa.Body) > 5 || len(pb.Body) > 5 {
+					continue
+				}
+				if !surjectiveOnto(pa, pb) {
+					continue
+				}
+				ca, err := BestPlanM2(db, pa)
+				if err != nil {
+					return false
+				}
+				cb, err := BestPlanM2(db, pb)
+				if err != nil {
+					return false
+				}
+				if cb.Cost > ca.Cost {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+package cost
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"viewplan/internal/corecover"
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+	"viewplan/internal/views"
+	"viewplan/internal/workload"
+)
+
+// costFixture builds a random chain instance with materialized views,
+// returning a rewriting to plan, the query, views and database. It
+// returns ok=false when the instance has no rewriting.
+func costFixture(seed int64) (db *engine.Database, p, q *cq.Query, vs *views.Set, ok bool) {
+	if seed < 0 {
+		seed = -(seed + 1)
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	inst, err := workload.Generate(workload.Config{
+		Shape:         workload.Chain,
+		QuerySubgoals: 3 + int(seed%3),
+		NumViews:      12,
+		Seed:          seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := corecover.CoreCoverStar(inst.Query, inst.Views, corecover.Options{MaxRewritings: 4})
+	if err != nil || len(res.Rewritings) == 0 {
+		return nil, nil, nil, nil, false
+	}
+	db = engine.NewDatabase()
+	gen := engine.NewDataGen(seed, 3+rnd.Intn(6))
+	gen.FillForQuery(db, inst.Query, 8+rnd.Intn(16))
+	if err := db.MaterializeViews(inst.Views); err != nil {
+		panic(err)
+	}
+	p = res.Rewritings[rnd.Intn(len(res.Rewritings))]
+	if len(p.Body) > 4 {
+		return nil, nil, nil, nil, false
+	}
+	return db, p, inst.Query, inst.Views, true
+}
+
+// BestPlanM2 is never beaten by any explicit permutation.
+func TestQuickBestPlanM2Optimal(t *testing.T) {
+	f := func(seed int64) bool {
+		db, p, _, _, ok := costFixture(seed)
+		if !ok {
+			return true
+		}
+		best, err := BestPlanM2(db, p)
+		if err != nil {
+			return false
+		}
+		exh, err := BestPlanM2Exhaustive(db, p)
+		if err != nil {
+			return false
+		}
+		return best.Cost == exh.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// M3 with drops never costs more than M2 on the same order (dropping
+// attributes only shrinks intermediate relations under set semantics).
+func TestQuickM3NotWorseThanM2(t *testing.T) {
+	f := func(seed int64) bool {
+		db, p, q, vs, ok := costFixture(seed)
+		if !ok {
+			return true
+		}
+		order := identityOrder(len(p.Body))
+		m2, err := PlanM2(db, p, order)
+		if err != nil {
+			return false
+		}
+		for _, strategy := range []DropStrategy{SupplementaryRelations, RenamingHeuristic} {
+			drops, err := Drops(strategy, p, order, q, vs)
+			if err != nil {
+				return false
+			}
+			m3, err := PlanM3(db, p, order, drops)
+			if err != nil {
+				return false
+			}
+			if m3.Cost > m2.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The renaming heuristic's extra drops never change the final answer:
+// the last GSR projected onto the head variables equals the base
+// evaluation of the query.
+func TestQuickHeuristicPreservesAnswer(t *testing.T) {
+	f := func(seed int64) bool {
+		db, p, q, vs, ok := costFixture(seed)
+		if !ok {
+			return true
+		}
+		order := identityOrder(len(p.Body))
+		drops, err := Drops(RenamingHeuristic, p, order, q, vs)
+		if err != nil {
+			return false
+		}
+		// Never drop a head variable, and execute the plan: the final GSR
+		// must hold exactly the base answer's head bindings.
+		head := p.HeadVars()
+		for _, step := range drops {
+			for _, v := range step {
+				if head.Has(v) {
+					return false
+				}
+			}
+		}
+		plan, err := PlanM3(db, p, order, drops)
+		if err != nil {
+			return false
+		}
+		base, err := db.Evaluate(q)
+		if err != nil {
+			return false
+		}
+		// Re-execute the plan to capture the final intermediate relation.
+		cur := engine.UnitVarRelation()
+		retained := make(cq.VarSet)
+		for step, idx := range order {
+			p.Body[idx].Vars(retained)
+			for _, v := range drops[step] {
+				delete(retained, v)
+			}
+			cur, err = db.JoinStep(cur, p.Body[idx], retained.Sorted())
+			if err != nil {
+				return false
+			}
+		}
+		// Project onto the head.
+		var headVars []cq.Var
+		for _, a := range p.Head.Args {
+			if v, isVar := a.(cq.Var); isVar {
+				headVars = append(headVars, v)
+			}
+		}
+		proj, err := cur.Project(headVars)
+		if err != nil {
+			return false
+		}
+		// Compare row multisets via the head atom instantiation.
+		want := make(map[string]struct{})
+		for _, row := range base.Rows() {
+			want[row.Key()] = struct{}{}
+		}
+		got := make(map[string]struct{})
+		for _, row := range proj.Rows() {
+			full := make(engine.Tuple, 0, len(p.Head.Args))
+			col := 0
+			for _, a := range p.Head.Args {
+				if c, isConst := a.(cq.Const); isConst {
+					full = append(full, c)
+				} else {
+					full = append(full, row[col])
+					col++
+				}
+			}
+			got[full.Key()] = struct{}{}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if _, okk := got[k]; !okk {
+				return false
+			}
+		}
+		_ = plan
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Filters never make the plan worse (greedy only keeps improvements).
+func TestQuickFiltersOnlyImprove(t *testing.T) {
+	f := func(seed int64) bool {
+		db, p, q, vs, ok := costFixture(seed)
+		if !ok {
+			return true
+		}
+		tuples := views.ComputeTuples(q, vs)
+		if len(tuples) > 6 {
+			tuples = tuples[:6]
+		}
+		before, err := BestPlanM2(db, p)
+		if err != nil {
+			return false
+		}
+		res, err := ImproveWithFilters(db, p, q, vs, tuples)
+		if err != nil {
+			return false
+		}
+		return res.Plan.Cost <= before.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Repeated-variable heads in rewritings cost correctly (regression guard
+// for plan simulation panics on odd inputs).
+func TestPlanHandlesRepeatedVarsAndConstants(t *testing.T) {
+	vs, err := views.ParseSet("v(A, B, C) :- e(A, B), f(B, C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDatabase()
+	if err := db.LoadFacts("e(1, 1). e(1, 2). f(2, k)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeViews(vs); err != nil {
+		t.Fatal(err)
+	}
+	p := cq.MustParseQuery("q(A) :- v(A, A, X), v(A, B, k)")
+	plan, err := BestPlanM2(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost <= 0 {
+		t.Errorf("cost = %d", plan.Cost)
+	}
+}
+
+// Big fixture sanity: the M2 DP handles 8 subgoals (2^8 subsets).
+func TestBestPlanM2EightSubgoals(t *testing.T) {
+	var vsrc, body strings.Builder
+	for i := 1; i <= 8; i++ {
+		vsrc.WriteString("w" + strconv.Itoa(i) + "(A, B) :- e" + strconv.Itoa(i) + "(A, B).\n")
+		if i > 1 {
+			body.WriteString(", ")
+		}
+		body.WriteString("w" + strconv.Itoa(i) + "(X" + strconv.Itoa(i-1) + ", X" + strconv.Itoa(i) + ")")
+	}
+	vs, err := views.ParseSet(vsrc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDatabase()
+	gen := engine.NewDataGen(9, 12)
+	for i := 1; i <= 8; i++ {
+		gen.Fill(db, "e"+strconv.Itoa(i), 2, 25)
+	}
+	if err := db.MaterializeViews(vs); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cq.ParseQuery("q(X0, X8) :- " + body.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BestPlanM2(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Order) != 8 {
+		t.Errorf("order = %v", plan.Order)
+	}
+}

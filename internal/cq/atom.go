@@ -1,0 +1,184 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Atom is a predicate applied to a list of terms, e.g. car(M, anderson).
+// Atoms are used both as subgoals of queries and as ground facts of a
+// database (in which case all arguments are constants).
+type Atom struct {
+	// Pred is the predicate (relation) name.
+	Pred string
+	// Args are the arguments, each a Var or Const.
+	Args []Term
+}
+
+// NewAtom builds an atom from a predicate name and terms.
+func NewAtom(pred string, args ...Term) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+// ParseAtomArgs builds an atom from bare identifiers, classifying each as a
+// variable or constant by the Datalog naming convention. It is a
+// convenience for tests and examples.
+func ParseAtomArgs(pred string, names ...string) Atom {
+	args := make([]Term, len(names))
+	for i, n := range names {
+		args[i] = MakeTerm(n)
+	}
+	return Atom{Pred: pred, Args: args}
+}
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Equal reports argument-wise syntactic equality.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if IsVar(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the atom's variables to the set.
+func (a Atom) Vars(into VarSet) {
+	for _, t := range a.Args {
+		into.AddTerm(t)
+	}
+}
+
+// VarList returns the atom's variables in order of first occurrence.
+func (a Atom) VarList() []Var {
+	seen := make(VarSet, len(a.Args))
+	var out []Var
+	for _, t := range a.Args {
+		if v, ok := t.(Var); ok && !seen.Has(v) {
+			seen.Add(v)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// HasVar reports whether v occurs among the atom's arguments.
+func (a Atom) HasVar(v Var) bool {
+	for _, t := range a.Args {
+		if t == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the atom in Datalog syntax, e.g. "car(M, anderson)".
+func (a Atom) String() string {
+	var b strings.Builder
+	a.writeTo(&b)
+	return b.String()
+}
+
+func (a Atom) writeTo(b *strings.Builder) {
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+}
+
+// Shape returns a string identifying the atom's predicate, arity, constant
+// positions (with the constant values) and the equality pattern among its
+// variable positions, but not the variable names. Two atoms have the same
+// shape exactly when one can be turned into the other by an injective
+// variable renaming. Shapes are used to group atoms during canonicalization.
+func (a Atom) Shape() string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('/')
+	fmt.Fprintf(&b, "%d", len(a.Args))
+	b.WriteByte(':')
+	next := 0
+	ids := make(map[Var]int)
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch t := t.(type) {
+		case Const:
+			b.WriteByte('c')
+			b.WriteString(string(t))
+		case Var:
+			id, ok := ids[t]
+			if !ok {
+				id = next
+				next++
+				ids[t] = id
+			}
+			fmt.Fprintf(&b, "v%d", id)
+		}
+	}
+	return b.String()
+}
+
+// AtomsEqual reports whether two atom slices are element-wise equal.
+func AtomsEqual(a, b []Atom) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAtom reports whether atoms contains an atom syntactically equal
+// to a.
+func ContainsAtom(atoms []Atom, a Atom) bool {
+	for _, x := range atoms {
+		if x.Equal(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// DedupAtoms returns atoms with exact syntactic duplicates removed,
+// preserving first-occurrence order.
+func DedupAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, 0, len(atoms))
+	for _, a := range atoms {
+		if !ContainsAtom(out, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

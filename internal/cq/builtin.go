@@ -1,0 +1,326 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file adds built-in comparison predicates to conjunctive queries,
+// the first extension discussed in the paper's Section 8 ("the case where
+// the query and views have built-in predicates"). A query with
+// comparisons is written
+//
+//	q(X, Y) :- p(X, Y), r(Y, Z), X <= Z, Y != c
+//
+// Comparisons are not relational subgoals: they filter the bindings
+// produced by the relational body. Safety requires every compared
+// variable to occur in a relational subgoal.
+
+// CompOp is a comparison operator.
+type CompOp int
+
+// The supported comparison operators.
+const (
+	OpEQ CompOp = iota // =
+	OpNE               // !=
+	OpLT               // <
+	OpLE               // <=
+	OpGT               // >
+	OpGE               // >=
+)
+
+// String returns the Datalog spelling of the operator.
+func (o CompOp) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "!="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Flip returns the operator with its operands exchanged
+// (X < Y ⇔ Y > X).
+func (o CompOp) Flip() CompOp {
+	switch o {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	}
+	return o // = and != are symmetric
+}
+
+// Comparison is a built-in predicate Left Op Right.
+type Comparison struct {
+	Op    CompOp
+	Left  Term
+	Right Term
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// Clone returns a copy.
+func (c Comparison) Clone() Comparison { return c }
+
+// Equal reports syntactic equality.
+func (c Comparison) Equal(d Comparison) bool {
+	return c.Op == d.Op && c.Left == d.Left && c.Right == d.Right
+}
+
+// Vars adds the comparison's variables to the set.
+func (c Comparison) Vars(into VarSet) {
+	into.AddTerm(c.Left)
+	into.AddTerm(c.Right)
+}
+
+// Normalize orients <, <= so the operator is one of =, !=, <, <= (greater
+// forms are flipped). Normalized comparisons simplify implication checks.
+func (c Comparison) Normalize() Comparison {
+	switch c.Op {
+	case OpGT, OpGE:
+		return Comparison{Op: c.Op.Flip(), Left: c.Right, Right: c.Left}
+	}
+	return c
+}
+
+// Apply substitutes terms.
+func (s Subst) Comparison(c Comparison) Comparison {
+	return Comparison{Op: c.Op, Left: s.Term(c.Left), Right: s.Term(c.Right)}
+}
+
+// Comparisons applies the substitution to a slice.
+func (s Subst) Comparisons(cs []Comparison) []Comparison {
+	out := make([]Comparison, len(cs))
+	for i, c := range cs {
+		out[i] = s.Comparison(c)
+	}
+	return out
+}
+
+// CompareValues evaluates v1 op v2 over constants: numerically when both
+// parse as integers, lexicographically otherwise.
+func CompareValues(op CompOp, v1, v2 Const) bool {
+	var cmp int
+	n1, err1 := strconv.ParseInt(string(v1), 10, 64)
+	n2, err2 := strconv.ParseInt(string(v2), 10, 64)
+	if err1 == nil && err2 == nil {
+		switch {
+		case n1 < n2:
+			cmp = -1
+		case n1 > n2:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(string(v1), string(v2))
+	}
+	switch op {
+	case OpEQ:
+		return cmp == 0
+	case OpNE:
+		return cmp != 0
+	case OpLT:
+		return cmp < 0
+	case OpLE:
+		return cmp <= 0
+	case OpGT:
+		return cmp > 0
+	case OpGE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// EvalComparison evaluates a ground comparison; it reports an error when
+// a side is still a variable.
+func EvalComparison(c Comparison) (bool, error) {
+	l, okL := c.Left.(Const)
+	r, okR := c.Right.(Const)
+	if !okL || !okR {
+		return false, fmt.Errorf("cq: comparison %s is not ground", c)
+	}
+	return CompareValues(c.Op, l, r), nil
+}
+
+// ImpliesComparisons reports whether the premise comparisons (under the
+// usual order axioms: reflexivity of <=, transitivity of < and <=,
+// constant arithmetic, and equality propagation) entail every conclusion
+// comparison. The check is sound and complete for conjunctions of
+// =, <, <= over a dense order without != in the premises; != conclusions
+// are derived from strict chains and distinct constants. It is the
+// workhorse of the builtin-aware containment test.
+func ImpliesComparisons(premises, conclusions []Comparison) bool {
+	ord := newOrderClosure(premises)
+	if ord == nil {
+		// Inconsistent premises entail everything (the query is empty).
+		return true
+	}
+	for _, c := range conclusions {
+		if !ord.entails(c.Normalize()) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderClosure is the transitive closure of a set of normalized
+// comparisons over the terms mentioned, with constants related by their
+// actual order.
+type orderClosure struct {
+	terms []Term
+	index map[Term]int
+	// le[i][j]: t_i <= t_j is entailed; lt: strict; ne: t_i != t_j.
+	le, lt, ne [][]bool
+}
+
+// newOrderClosure builds the closure, returning nil when the premises are
+// inconsistent (e.g. X < X, or 3 <= 2).
+func newOrderClosure(premises []Comparison) *orderClosure {
+	oc := &orderClosure{index: make(map[Term]int)}
+	add := func(t Term) {
+		if _, ok := oc.index[t]; !ok {
+			oc.index[t] = len(oc.terms)
+			oc.terms = append(oc.terms, t)
+		}
+	}
+	for _, p := range premises {
+		add(p.Left)
+		add(p.Right)
+	}
+	n := len(oc.terms)
+	oc.le = boolMatrix(n)
+	oc.lt = boolMatrix(n)
+	oc.ne = boolMatrix(n)
+	for i := 0; i < n; i++ {
+		oc.le[i][i] = true
+	}
+	// Seed constant-vs-constant relations.
+	for i := 0; i < n; i++ {
+		ci, iok := oc.terms[i].(Const)
+		if !iok {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			cj, jok := oc.terms[j].(Const)
+			if !jok || i == j {
+				continue
+			}
+			if CompareValues(OpLE, ci, cj) {
+				oc.le[i][j] = true
+			}
+			if CompareValues(OpLT, ci, cj) {
+				oc.lt[i][j] = true
+			}
+			if ci != cj {
+				oc.ne[i][j] = true
+			}
+		}
+	}
+	// Seed the premises.
+	for _, p := range premises {
+		q := p.Normalize()
+		i, j := oc.index[q.Left], oc.index[q.Right]
+		switch q.Op {
+		case OpEQ:
+			oc.le[i][j] = true
+			oc.le[j][i] = true
+		case OpLE:
+			oc.le[i][j] = true
+		case OpLT:
+			oc.le[i][j] = true
+			oc.lt[i][j] = true
+			oc.ne[i][j] = true
+			oc.ne[j][i] = true
+		case OpNE:
+			oc.ne[i][j] = true
+			oc.ne[j][i] = true
+		}
+	}
+	// Transitive closure (Floyd–Warshall style); strictness propagates
+	// through any strict link in a chain.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if oc.le[i][k] && oc.le[k][j] && !oc.le[i][j] {
+					oc.le[i][j] = true
+				}
+				if (oc.lt[i][k] && oc.le[k][j]) || (oc.le[i][k] && oc.lt[k][j]) {
+					if !oc.lt[i][j] {
+						oc.lt[i][j] = true
+					}
+				}
+			}
+		}
+	}
+	// Derived facts and consistency.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if oc.lt[i][j] {
+				oc.ne[i][j] = true
+				oc.ne[j][i] = true
+			}
+			// x <= y and y <= x with x != y is inconsistent.
+			if i != j && oc.le[i][j] && oc.le[j][i] && oc.ne[i][j] {
+				return nil
+			}
+		}
+		if oc.lt[i][i] || oc.ne[i][i] {
+			return nil
+		}
+	}
+	return oc
+}
+
+func boolMatrix(n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	return m
+}
+
+// entails reports whether the closure entails a normalized comparison.
+func (oc *orderClosure) entails(c Comparison) bool {
+	i, iok := oc.index[c.Left]
+	j, jok := oc.index[c.Right]
+	if !iok || !jok {
+		// A term unseen in the premises: only trivial facts hold.
+		if c.Left == c.Right {
+			return c.Op == OpEQ || c.Op == OpLE
+		}
+		lc, lIsConst := c.Left.(Const)
+		rc, rIsConst := c.Right.(Const)
+		if lIsConst && rIsConst {
+			return CompareValues(c.Op, lc, rc)
+		}
+		return false
+	}
+	switch c.Op {
+	case OpEQ:
+		return oc.le[i][j] && oc.le[j][i]
+	case OpLE:
+		return oc.le[i][j]
+	case OpLT:
+		return oc.lt[i][j]
+	case OpNE:
+		return oc.ne[i][j]
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package cq
+
+import "testing"
+
+func TestParseComparisons(t *testing.T) {
+	q, err := ParseQuery("q(X, Y) :- p(X, Y), r(Y, Z), X <= Z, Y != c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 2 || len(q.Comparisons) != 2 {
+		t.Fatalf("parsed %d atoms, %d comparisons", len(q.Body), len(q.Comparisons))
+	}
+	if q.Comparisons[0].Op != OpLE || q.Comparisons[0].Left != Var("X") {
+		t.Errorf("first comparison = %v", q.Comparisons[0])
+	}
+	if q.Comparisons[1].Op != OpNE || q.Comparisons[1].Right != Const("c") {
+		t.Errorf("second comparison = %v", q.Comparisons[1])
+	}
+	// Round trip.
+	back, err := ParseQuery(q.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(q) {
+		t.Errorf("round trip differs: %s vs %s", back, q)
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	q, err := ParseQuery("q(A, B) :- p(A, B), A < B, A <= B, A = A, A != B, B > A, B >= A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Comparisons) != 6 {
+		t.Fatalf("comparisons = %v", q.Comparisons)
+	}
+	ops := []CompOp{OpLT, OpLE, OpEQ, OpNE, OpGT, OpGE}
+	for i, want := range ops {
+		if q.Comparisons[i].Op != want {
+			t.Errorf("comparison %d op = %v, want %v", i, q.Comparisons[i].Op, want)
+		}
+	}
+}
+
+func TestUnsafeComparisonRejected(t *testing.T) {
+	if _, err := ParseQuery("q(X) :- p(X), X < Y"); err == nil {
+		t.Error("comparison over unbound variable accepted")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		op   CompOp
+		a, b Const
+		want bool
+	}{
+		{OpLT, "2", "10", true}, // numeric, not lexicographic
+		{OpLT, "10", "2", false},
+		{OpLE, "3", "3", true},
+		{OpEQ, "abc", "abc", true},
+		{OpNE, "abc", "abd", true},
+		{OpLT, "abc", "abd", true}, // lexicographic fallback
+		{OpGE, "9", "10", false},
+		{OpGT, "x2", "x10", true}, // mixed: lexicographic
+	}
+	for _, c := range cases {
+		if got := CompareValues(c.op, c.a, c.b); got != c.want {
+			t.Errorf("CompareValues(%v, %s, %s) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalComparison(t *testing.T) {
+	ok, err := EvalComparison(Comparison{Op: OpLT, Left: Const("1"), Right: Const("2")})
+	if err != nil || !ok {
+		t.Errorf("got %v, %v", ok, err)
+	}
+	if _, err := EvalComparison(Comparison{Op: OpLT, Left: Var("X"), Right: Const("2")}); err == nil {
+		t.Error("non-ground comparison accepted")
+	}
+}
+
+func TestNormalizeAndFlip(t *testing.T) {
+	c := Comparison{Op: OpGT, Left: Var("X"), Right: Var("Y")}
+	n := c.Normalize()
+	if n.Op != OpLT || n.Left != Var("Y") || n.Right != Var("X") {
+		t.Errorf("normalized = %v", n)
+	}
+	if OpEQ.Flip() != OpEQ || OpNE.Flip() != OpNE {
+		t.Error("symmetric ops should not flip")
+	}
+}
+
+func comps(src string) []Comparison {
+	q := MustParseQuery("q(A) :- p(A, B, C, D), " + src)
+	return q.Comparisons
+}
+
+func TestImpliesComparisons(t *testing.T) {
+	cases := []struct {
+		premises, conclusions string
+		want                  bool
+	}{
+		{"A <= B, B <= C", "A <= C", true}, // transitivity
+		{"A < B, B <= C", "A < C", true},   // strict through chain
+		{"A < B, B <= C", "A != C", true},  // strict implies distinct
+		{"A <= B", "A < B", false},         // no strictness
+		{"A <= B, B <= A", "A = B", true},  // antisymmetry
+		{"A = B, B = C", "A <= C", true},   // equality chain
+		{"A <= B", "B >= A", true},         // flip normalization
+		{"A < B", "B > A", true},
+		{"A <= B, C <= D", "A <= D", false}, // unrelated
+		{"A = 3, B = 5", "A < B", true},     // constant arithmetic
+		{"A <= 3, 5 <= B", "A < B", true},   // through constants
+		{"A != B", "A != B", true},
+		{"A < A", "A = B", true}, // inconsistent premises entail all
+	}
+	for _, c := range cases {
+		got := ImpliesComparisons(comps(c.premises), comps(c.conclusions))
+		if got != c.want {
+			t.Errorf("Implies(%q => %q) = %v, want %v", c.premises, c.conclusions, got, c.want)
+		}
+	}
+}
+
+func TestImpliesTrivialConclusions(t *testing.T) {
+	// Conclusions over terms absent from the premises.
+	if !ImpliesComparisons(nil, comps("A = A, A <= A")) {
+		t.Error("reflexivity should hold with no premises")
+	}
+	if ImpliesComparisons(nil, comps("A < B")) {
+		t.Error("unrelated strict comparison should not hold")
+	}
+	if !ImpliesComparisons(nil, []Comparison{{Op: OpLT, Left: Const("1"), Right: Const("2")}}) {
+		t.Error("constant facts should hold with no premises")
+	}
+}
+
+func TestSubstAppliesToComparisons(t *testing.T) {
+	q := MustParseQuery("q(X) :- p(X, Y), X <= Y")
+	s := Subst{"Y": Const("9")}
+	got := s.Query(q)
+	if got.Comparisons[0].Right != Const("9") {
+		t.Errorf("substituted comparison = %v", got.Comparisons[0])
+	}
+}
+
+func TestCloneAndVarsWithComparisons(t *testing.T) {
+	q := MustParseQuery("q(X) :- p(X, Y), X <= Y")
+	c := q.Clone()
+	c.Comparisons[0].Op = OpLT
+	if q.Comparisons[0].Op != OpLE {
+		t.Error("clone shares comparison storage")
+	}
+	if !q.Vars().Has("Y") {
+		t.Error("comparison variable missing from Vars")
+	}
+	if !q.HasComparisons() {
+		t.Error("HasComparisons = false")
+	}
+}

@@ -1,0 +1,153 @@
+package cq
+
+import (
+	"sort"
+	"strings"
+)
+
+// CanonicalKey returns a string that is identical for two queries exactly
+// when they are the same up to (a) renaming of variables and (b) reordering
+// of body subgoals. The paper treats such rewritings as identical
+// ("we assume two rewritings are the same if the only difference between
+// them is variable renamings"), so the key is used to deduplicate
+// rewritings and to pre-bucket views before the more expensive
+// containment-based equivalence grouping.
+//
+// The key is computed by a small branch-and-bound canonical labeling: body
+// atoms are emitted one at a time, variables are numbered in order of first
+// emission, and at each step every not-yet-emitted atom is tried, keeping
+// only orderings that remain lexicographically minimal. Conjunctive query
+// bodies in this domain are small (≤ ~16 atoms), so the search is cheap in
+// practice; a safety cap falls back to a sorted-shape approximation for
+// adversarially large bodies (the fallback is still sound for equality of
+// identical queries, merely coarser — it may merge fewer queries).
+func CanonicalKey(q *Query) string {
+	if len(q.Body) > canonicalExactLimit {
+		return approximateKey(q)
+	}
+	c := &canonicalizer{q: q, used: make([]bool, len(q.Body))}
+	c.varIDs = make(map[Var]int)
+	// Head variables are numbered first, in head-argument order; the head
+	// is part of every candidate prefix so this is canonical.
+	var head strings.Builder
+	head.WriteString(q.Head.Pred)
+	head.WriteByte('(')
+	for i, t := range q.Head.Args {
+		if i > 0 {
+			head.WriteByte(',')
+		}
+		head.WriteString(c.label(t))
+	}
+	head.WriteString(")|")
+	c.best = ""
+	c.haveBest = false
+	c.emit(head.String(), 0)
+	return c.best
+}
+
+const canonicalExactLimit = 16
+
+type canonicalizer struct {
+	q        *Query
+	used     []bool
+	varIDs   map[Var]int
+	nextID   int
+	best     string
+	haveBest bool
+}
+
+// label returns the canonical spelling of a term under the current variable
+// numbering, assigning the next number to unseen variables.
+func (c *canonicalizer) label(t Term) string {
+	switch t := t.(type) {
+	case Const:
+		return "c:" + string(t)
+	case Var:
+		id, ok := c.varIDs[t]
+		if !ok {
+			id = c.nextID
+			c.nextID++
+			c.varIDs[t] = id
+		}
+		return "V" + itoa(id)
+	}
+	return "?"
+}
+
+func (c *canonicalizer) emit(prefix string, emitted int) {
+	if c.haveBest {
+		k := min(len(prefix), len(c.best))
+		if prefix[:k] > c.best[:k] {
+			return // every completion of prefix is lexicographically worse
+		}
+	}
+	if emitted == len(c.q.Body) {
+		if !c.haveBest || prefix < c.best {
+			c.best = prefix
+			c.haveBest = true
+		}
+		return
+	}
+	// Try each unused atom next; restore variable numbering after each try.
+	for i := range c.q.Body {
+		if c.used[i] {
+			continue
+		}
+		c.used[i] = true
+		savedNext := c.nextID
+		var added []Var
+		var b strings.Builder
+		a := c.q.Body[i]
+		b.WriteString(a.Pred)
+		b.WriteByte('(')
+		for j, t := range a.Args {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			if v, ok := t.(Var); ok {
+				if _, seen := c.varIDs[v]; !seen {
+					added = append(added, v)
+				}
+			}
+			b.WriteString(c.label(t))
+		}
+		b.WriteString(")|")
+		c.emit(prefix+b.String(), emitted+1)
+		for _, v := range added {
+			delete(c.varIDs, v)
+		}
+		c.nextID = savedNext
+		c.used[i] = false
+	}
+}
+
+// approximateKey is a cheaper, coarser key: head rendered with
+// first-occurrence numbering plus the multiset of body atom shapes. Queries
+// with equal exact canonical keys always have equal approximate keys.
+func approximateKey(q *Query) string {
+	shapes := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		shapes[i] = a.Shape()
+	}
+	sort.Strings(shapes)
+	var b strings.Builder
+	b.WriteString(q.Head.Shape())
+	b.WriteString("||")
+	b.WriteString(strings.Join(shapes, "|"))
+	return b.String()
+}
+
+// SortBodyCanonically returns a copy of q whose body atoms follow the order
+// chosen by CanonicalKey's winning labeling. It is used for stable printing
+// of generated rewritings. For large bodies it falls back to sorting by
+// (Pred, String).
+func SortBodyCanonically(q *Query) *Query {
+	out := q.Clone()
+	sort.SliceStable(out.Body, func(i, j int) bool {
+		if out.Body[i].Pred != out.Body[j].Pred {
+			return out.Body[i].Pred < out.Body[j].Pred
+		}
+		return out.Body[i].String() < out.Body[j].String()
+	})
+	return out
+}

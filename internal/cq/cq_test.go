@@ -1,0 +1,332 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMakeTerm(t *testing.T) {
+	cases := []struct {
+		name  string
+		isVar bool
+	}{
+		{"X", true}, {"Xyz", true}, {"_tmp", true}, {"M1", true},
+		{"anderson", false}, {"a", false}, {"42", false}, {"car2", false},
+	}
+	for _, c := range cases {
+		got := IsVar(MakeTerm(c.name))
+		if got != c.isVar {
+			t.Errorf("MakeTerm(%q): IsVar = %v, want %v", c.name, got, c.isVar)
+		}
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := ParseAtomArgs("car", "M", "anderson")
+	if got := a.String(); got != "car(M, anderson)" {
+		t.Errorf("String = %q", got)
+	}
+	if a.Arity() != 2 {
+		t.Errorf("Arity = %d", a.Arity())
+	}
+}
+
+func TestAtomShape(t *testing.T) {
+	a := ParseAtomArgs("e", "X", "Y", "X", "c")
+	b := ParseAtomArgs("e", "U", "W", "U", "c")
+	c := ParseAtomArgs("e", "U", "W", "W", "c")
+	if a.Shape() != b.Shape() {
+		t.Errorf("isomorphic atoms got different shapes: %q vs %q", a.Shape(), b.Shape())
+	}
+	if a.Shape() == c.Shape() {
+		t.Errorf("non-isomorphic atoms share shape %q", a.Shape())
+	}
+}
+
+func TestParseQueryRoundTrip(t *testing.T) {
+	src := "q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)."
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)"
+	if q.String() != want {
+		t.Errorf("round trip = %q, want %q", q.String(), want)
+	}
+	q2, err := ParseQuery(q.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(q2) {
+		t.Errorf("reparse differs: %s vs %s", q, q2)
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	src := `
+		% the car-loc-part views
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+		v3(S) :- car(M, a), loc(a, C), part(S, M, C).
+	`
+	qs, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("got %d rules, want 3", len(qs))
+	}
+	if qs[2].Name() != "v3" {
+		t.Errorf("third rule name = %q", qs[2].Name())
+	}
+	ex := qs[2].ExistentialVars()
+	if len(ex) != 2 || !ex.Has("M") || !ex.Has("C") {
+		t.Errorf("v3 existential vars = %v", ex)
+	}
+}
+
+func TestParseQuotedConstant(t *testing.T) {
+	q, err := ParseQuery("q(X) :- loc('Anderson', X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Body[0].Args[0] != Const("Anderson") {
+		t.Errorf("quoted constant parsed as %v", q.Body[0].Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                        // empty
+		"q(X)",                    // no body
+		"q(X) :- ",                // missing body atom
+		"q(X) :- p(X,)",           // trailing comma
+		"q(X) :- p(X",             // unclosed paren
+		"Q(X) :- p(X)",            // variable predicate
+		"q(X) :- p(Y)",            // unsafe
+		"q(X) :- p('unterminated", // bad quote
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	facts, err := ParseFacts("car(honda, a). loc(a, sf). part(s1, honda, sf).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 3 {
+		t.Fatalf("got %d facts", len(facts))
+	}
+	if _, err := ParseFacts("car(X, a)."); err == nil {
+		t.Error("expected error for non-ground fact")
+	}
+}
+
+func TestSubstApplyAndCompose(t *testing.T) {
+	q := MustParseQuery("q(X, Y) :- a(X, Z), b(Z, Y)")
+	s := Subst{"X": Const("c1"), "Z": Var("W")}
+	got := s.Query(q)
+	want := "q(c1, Y) :- a(c1, W), b(W, Y)"
+	if got.String() != want {
+		t.Errorf("apply = %q, want %q", got, want)
+	}
+	t2 := Subst{"W": Const("c2")}
+	comp := s.Compose(t2)
+	if comp.Term(Var("Z")) != Const("c2") {
+		t.Errorf("compose Z = %v", comp.Term(Var("Z")))
+	}
+	if comp.Term(Var("W")) != Const("c2") {
+		t.Errorf("compose W = %v", comp.Term(Var("W")))
+	}
+	if comp.Term(Var("X")) != Const("c1") {
+		t.Errorf("compose X = %v", comp.Term(Var("X")))
+	}
+}
+
+func TestSubstBindAndMatch(t *testing.T) {
+	s := NewSubst()
+	if !s.Bind("X", Const("a")) || !s.Bind("X", Const("a")) {
+		t.Error("rebinding same value should succeed")
+	}
+	if s.Bind("X", Const("b")) {
+		t.Error("rebinding different value should fail")
+	}
+	s2 := NewSubst()
+	pat := ParseAtomArgs("p", "X", "X", "c")
+	if s2.MatchAtom(pat, ParseAtomArgs("p", "a", "b", "c")) {
+		t.Error("repeated variable should force equal arguments")
+	}
+	s3 := NewSubst()
+	if !s3.MatchAtom(pat, ParseAtomArgs("p", "a", "a", "c")) {
+		t.Error("match should succeed")
+	}
+	if s3["X"] != Const("a") {
+		t.Errorf("X bound to %v", s3["X"])
+	}
+}
+
+func TestSubstInjective(t *testing.T) {
+	s := Subst{"X": Const("a"), "Y": Const("a")}
+	if s.IsInjectiveOn([]Var{"X", "Y"}) {
+		t.Error("not injective")
+	}
+	if !s.IsInjectiveOn([]Var{"X"}) {
+		t.Error("single var always injective")
+	}
+}
+
+func TestFreshGen(t *testing.T) {
+	g := NewFreshGen("_E", VarSet{"_E0": {}, "_E2": {}})
+	a, b, c := g.Fresh(), g.Fresh(), g.Fresh()
+	if a != "_E1" || b != "_E3" || c != "_E4" {
+		t.Errorf("fresh sequence = %v %v %v", a, b, c)
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	q := &Query{Head: ParseAtomArgs("q", "X"), Body: []Atom{ParseAtomArgs("p", "X")}}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	unsafe := &Query{Head: ParseAtomArgs("q", "Y"), Body: []Atom{ParseAtomArgs("p", "X")}}
+	if err := unsafe.Validate(); err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Errorf("unsafe query not rejected: %v", err)
+	}
+}
+
+func TestQueryVarsAndSubgoals(t *testing.T) {
+	q := MustParseQuery("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+	if vs := q.Vars(); len(vs) != 3 {
+		t.Errorf("Vars = %v", vs)
+	}
+	if ex := q.ExistentialVars(); len(ex) != 1 || !ex.Has("Z") {
+		t.Errorf("ExistentialVars = %v", ex)
+	}
+	if got := q.SubgoalsWithVar("Z"); len(got) != 3 {
+		t.Errorf("SubgoalsWithVar(Z) = %v", got)
+	}
+	if got := q.SubgoalsWithVar("X"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("SubgoalsWithVar(X) = %v", got)
+	}
+}
+
+func TestRemoveAndKeepSubgoals(t *testing.T) {
+	q := MustParseQuery("q(X) :- a(X), b(X), c(X)")
+	r := q.RemoveSubgoal(1)
+	if r.String() != "q(X) :- a(X), c(X)" {
+		t.Errorf("RemoveSubgoal = %q", r)
+	}
+	k := q.KeepSubgoals([]int{2, 0})
+	if k.String() != "q(X) :- c(X), a(X)" {
+		t.Errorf("KeepSubgoals = %q", k)
+	}
+	// Originals untouched.
+	if len(q.Body) != 3 {
+		t.Error("original mutated")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	q := MustParseQuery("q(X, Y) :- a(X, Z), b(Z, Y)")
+	g := NewFreshGen("_R", q.Vars())
+	r, ren := q.RenameApart(g)
+	if len(ren) != 3 {
+		t.Fatalf("renaming size = %d", len(ren))
+	}
+	for v := range q.Vars() {
+		if _, ok := ren[v]; !ok {
+			t.Errorf("variable %s not renamed", v)
+		}
+	}
+	shared := q.Vars()
+	for v := range r.Vars() {
+		if shared.Has(v) {
+			t.Errorf("renamed query still shares variable %s", v)
+		}
+	}
+}
+
+func TestEqualModuloBodyOrder(t *testing.T) {
+	a := MustParseQuery("q(X) :- p(X), r(X, Y)")
+	b := MustParseQuery("q(X) :- r(X, Y), p(X)")
+	c := MustParseQuery("q(X) :- r(X, X), p(X)")
+	if !a.EqualModuloBodyOrder(b) {
+		t.Error("reordered bodies should be equal")
+	}
+	if a.EqualModuloBodyOrder(c) {
+		t.Error("different bodies should differ")
+	}
+}
+
+func TestDedupBody(t *testing.T) {
+	q := MustParseQuery("q(X) :- p(X), p(X), r(X)")
+	d := q.DedupBody()
+	if len(d.Body) != 2 {
+		t.Errorf("dedup left %d subgoals", len(d.Body))
+	}
+}
+
+func TestCanonicalKeyRenaming(t *testing.T) {
+	a := MustParseQuery("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+	b := MustParseQuery("q(U, W) :- a(U, V), a(V, V), b(V, W)")
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Error("renamed queries should share canonical key")
+	}
+}
+
+func TestCanonicalKeyReordering(t *testing.T) {
+	a := MustParseQuery("q(X, Y) :- a(X, Z), b(Z, Y)")
+	b := MustParseQuery("q(X, Y) :- b(Z, Y), a(X, Z)")
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Error("reordered queries should share canonical key")
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	a := MustParseQuery("q(X, Y) :- a(X, Z), b(Z, Y)")
+	b := MustParseQuery("q(X, Y) :- a(X, Z), b(Y, Z)")
+	if CanonicalKey(a) == CanonicalKey(b) {
+		t.Error("structurally different queries share canonical key")
+	}
+	c := MustParseQuery("q(X, Y) :- a(X, Z), b(Z, Y), b(Z, Z)")
+	if CanonicalKey(a) == CanonicalKey(c) {
+		t.Error("different body sizes share canonical key")
+	}
+}
+
+func TestCanonicalKeyConstants(t *testing.T) {
+	a := MustParseQuery("q(X) :- p(X, anderson)")
+	b := MustParseQuery("q(Y) :- p(Y, anderson)")
+	c := MustParseQuery("q(Y) :- p(Y, boston)")
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Error("same constants should share key")
+	}
+	if CanonicalKey(a) == CanonicalKey(c) {
+		t.Error("different constants share key")
+	}
+}
+
+func TestVarSetString(t *testing.T) {
+	s := VarSet{"B": {}, "A": {}}
+	if got := s.String(); got != "{A, B}" {
+		t.Errorf("VarSet.String = %q", got)
+	}
+}
+
+func TestVarOrder(t *testing.T) {
+	q := MustParseQuery("q(Y, X) :- a(X, Z), b(Z, Y)")
+	got := q.VarOrder()
+	want := []Var{"Y", "X", "Z"}
+	if len(got) != len(want) {
+		t.Fatalf("VarOrder = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VarOrder = %v, want %v", got, want)
+		}
+	}
+}

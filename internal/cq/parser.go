@@ -1,0 +1,320 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// The parser accepts a small Datalog dialect:
+//
+//	% line comment        # line comment        // line comment
+//	q(X, Y) :- a(X, Z), b(Z, Y).
+//	v1(M, D, C) :- car(M, D), loc(D, C).
+//
+// Identifiers starting with an upper-case letter or '_' are variables;
+// identifiers starting with a lower-case letter or digit are constants
+// (or predicate names in predicate position). Single-quoted tokens are
+// constants regardless of spelling: 'Anderson'. The trailing period is
+// optional when a rule ends at end of input or end of line.
+
+// ParseQuery parses a single conjunctive query (rule).
+func ParseQuery(src string) (*Query, error) {
+	qs, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(qs) != 1 {
+		return nil, fmt.Errorf("cq: expected exactly one rule, got %d", len(qs))
+	}
+	return qs[0], nil
+}
+
+// MustParseQuery is ParseQuery, panicking on error. For tests and examples.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseProgram parses a sequence of rules separated by periods or
+// newlines. Every rule must have a body (facts are written as atoms with
+// an explicit body in this dialect; ground facts for databases are parsed
+// with ParseFacts).
+func ParseProgram(src string) ([]*Query, error) {
+	p := &parser{src: src}
+	var out []*Query
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		q, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cq: no rules found")
+	}
+	return out, nil
+}
+
+// MustParseProgram is ParseProgram, panicking on error.
+func MustParseProgram(src string) []*Query {
+	qs, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return qs
+}
+
+// ParseFacts parses a sequence of ground atoms (facts) such as
+// "car(honda, anderson). loc(anderson, sf)." and reports an error if any
+// atom contains a variable.
+func ParseFacts(src string) ([]Atom, error) {
+	p := &parser{src: src}
+	var out []Atom
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		if !a.IsGround() {
+			return nil, fmt.Errorf("cq: fact %s contains a variable", a)
+		}
+		out = append(out, a)
+		p.skipSpace()
+		if p.peek() == '.' || p.peek() == ',' {
+			p.pos++
+		}
+	}
+	return out, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case c == '%' || c == '#':
+			p.skipLine()
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			p.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) skipLine() {
+	for !p.eof() && p.src[p.pos] != '\n' {
+		p.pos++
+	}
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("cq: parse error at line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) rule() (*Query, error) {
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.literal(":-") {
+		return nil, p.errorf("expected ':-' after head %s", head)
+	}
+	var body []Atom
+	var comps []Comparison
+	for {
+		p.skipSpace()
+		if a, c, isComp, err := p.bodyElement(); err != nil {
+			return nil, err
+		} else if isComp {
+			comps = append(comps, c)
+		} else {
+			body = append(body, a)
+		}
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.peek() == '.' {
+		p.pos++
+	}
+	return &Query{Head: head, Body: body, Comparisons: comps}, nil
+}
+
+// bodyElement parses either a relational atom or a built-in comparison
+// (term op term, with op one of = != < <= > >=).
+func (p *parser) bodyElement() (Atom, Comparison, bool, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.peek() != '\'' {
+		// Try an atom first: ident '('.
+		if _, err := p.ident(); err == nil {
+			p.skipSpace()
+			if p.peek() == '(' {
+				p.pos = start
+				a, err := p.atom()
+				return a, Comparison{}, false, err
+			}
+		}
+		p.pos = start
+	}
+	left, err := p.term()
+	if err != nil {
+		return Atom{}, Comparison{}, false, err
+	}
+	p.skipSpace()
+	op, err := p.compOp()
+	if err != nil {
+		return Atom{}, Comparison{}, false, err
+	}
+	p.skipSpace()
+	right, err := p.term()
+	if err != nil {
+		return Atom{}, Comparison{}, false, err
+	}
+	return Atom{}, Comparison{Op: op, Left: left, Right: right}, true, nil
+}
+
+func (p *parser) compOp() (CompOp, error) {
+	switch {
+	case p.literal("<="):
+		return OpLE, nil
+	case p.literal(">="):
+		return OpGE, nil
+	case p.literal("!="):
+		return OpNE, nil
+	case p.literal("<"):
+		return OpLT, nil
+	case p.literal(">"):
+		return OpGT, nil
+	case p.literal("="):
+		return OpEQ, nil
+	}
+	return 0, p.errorf("expected a comparison operator or '(' for an atom")
+}
+
+func (p *parser) literal(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) atom() (Atom, error) {
+	p.skipSpace()
+	pred, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	if NameIsVariable(pred) {
+		return Atom{}, p.errorf("predicate %q must start with a lower-case letter", pred)
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return Atom{}, p.errorf("expected '(' after predicate %q", pred)
+	}
+	p.pos++
+	var args []Term
+	for {
+		p.skipSpace()
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return Atom{Pred: pred, Args: args}, nil
+		default:
+			return Atom{}, p.errorf("expected ',' or ')' in arguments of %q", pred)
+		}
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	if p.peek() == '\'' {
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.eof() {
+			return nil, p.errorf("unterminated quoted constant")
+		}
+		c := Const(p.src[start:p.pos])
+		p.pos++
+		return c, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return MakeTerm(name), nil
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		if p.eof() {
+			return "", p.errorf("unexpected end of input, expected identifier")
+		}
+		return "", p.errorf("unexpected character %q, expected identifier", p.src[p.pos])
+	}
+	return p.src[start:p.pos], nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

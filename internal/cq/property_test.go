@@ -1,0 +1,166 @@
+package cq
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// randomQuery builds a random safe conjunctive query from a seed:
+// 1-6 subgoals over 1-4 predicates, arities 1-3, variables drawn from a
+// small pool (forcing shared variables), occasional constants, and a head
+// over a random subset of the variables.
+func randomQuery(rnd *rand.Rand) *Query {
+	nPreds := 1 + rnd.Intn(4)
+	nSub := 1 + rnd.Intn(6)
+	pool := []Var{"A", "B", "C", "D", "E"}
+	consts := []Const{"c1", "c2"}
+	body := make([]Atom, nSub)
+	for i := range body {
+		pred := "p" + strconv.Itoa(rnd.Intn(nPreds))
+		arity := 1 + rnd.Intn(3)
+		args := make([]Term, arity)
+		for j := range args {
+			if rnd.Intn(5) == 0 {
+				args[j] = consts[rnd.Intn(len(consts))]
+			} else {
+				args[j] = pool[rnd.Intn(len(pool))]
+			}
+		}
+		body[i] = Atom{Pred: pred, Args: args}
+	}
+	q := &Query{Head: Atom{Pred: "q"}, Body: body}
+	for _, v := range q.BodyVars().Sorted() {
+		if rnd.Intn(2) == 0 {
+			q.Head.Args = append(q.Head.Args, v)
+		}
+	}
+	if len(q.Head.Args) == 0 {
+		vs := q.BodyVars().Sorted()
+		if len(vs) > 0 {
+			q.Head.Args = append(q.Head.Args, vs[0])
+		} else {
+			// All-constant body: add any constant head argument.
+			q.Head.Args = append(q.Head.Args, Const("c1"))
+		}
+	}
+	return q
+}
+
+// renameRandomly applies a random injective variable renaming.
+func renameRandomly(q *Query, rnd *rand.Rand) *Query {
+	vars := q.Vars().Sorted()
+	perm := rnd.Perm(len(vars))
+	ren := NewSubst()
+	for i, v := range vars {
+		ren[v] = Var("R" + strconv.Itoa(perm[i]))
+	}
+	return ren.Query(q)
+}
+
+// shuffleBody permutes the body atoms.
+func shuffleBody(q *Query, rnd *rand.Rand) *Query {
+	out := q.Clone()
+	rnd.Shuffle(len(out.Body), func(i, j int) {
+		out.Body[i], out.Body[j] = out.Body[j], out.Body[i]
+	})
+	return out
+}
+
+func TestQuickCanonicalKeyInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomQuery(rnd)
+		iso := shuffleBody(renameRandomly(q, rnd), rnd)
+		return CanonicalKey(q) == CanonicalKey(iso)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomQuery(rnd)
+		back, err := ParseQuery(q.String())
+		if err != nil {
+			return false
+		}
+		return back.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubstCompose(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomQuery(rnd)
+		pool := []Term{Var("U"), Var("W"), Const("k")}
+		s, u := NewSubst(), NewSubst()
+		for _, v := range q.Vars().Sorted() {
+			if rnd.Intn(2) == 0 {
+				s[v] = pool[rnd.Intn(len(pool))]
+			}
+		}
+		u[Var("U")] = Const("z")
+		u[Var("W")] = Var("W2")
+		// Applying Compose(s, u) must equal applying s then u.
+		composed := s.Compose(u).Query(q)
+		sequential := u.Query(s.Query(q))
+		return composed.Equal(sequential)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRenameApartDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomQuery(rnd)
+		gen := NewFreshGen("_R", q.Vars())
+		r, ren := q.RenameApart(gen)
+		if len(ren) != len(q.Vars()) {
+			return false
+		}
+		orig := q.Vars()
+		for v := range r.Vars() {
+			if orig.Has(v) {
+				return false
+			}
+		}
+		// Renaming is injective.
+		seen := make(TermSet)
+		for _, img := range ren {
+			if seen.Has(img) {
+				return false
+			}
+			seen.Add(img)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShapeInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomQuery(rnd)
+		r := renameRandomly(q, rnd)
+		for i := range q.Body {
+			if q.Body[i].Shape() != r.Body[i].Shape() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+package cq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Query is a conjunctive query h(X̄) :- g1(X̄1), ..., gk(X̄k).
+// The head predicate names the query; body subgoals reference base
+// relations (or views, when the query is a rewriting).
+type Query struct {
+	Head Atom
+	Body []Atom
+	// Comparisons are built-in predicates filtering the body's bindings
+	// (Section 8 extension); empty for pure conjunctive queries.
+	Comparisons []Comparison
+}
+
+// NewQuery builds a query from a head and body atoms.
+func NewQuery(head Atom, body ...Atom) *Query {
+	return &Query{Head: head, Body: body}
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	body := make([]Atom, len(q.Body))
+	for i, a := range q.Body {
+		body[i] = a.Clone()
+	}
+	var comps []Comparison
+	if len(q.Comparisons) > 0 {
+		comps = append(comps, q.Comparisons...)
+	}
+	return &Query{Head: q.Head.Clone(), Body: body, Comparisons: comps}
+}
+
+// Name returns the head predicate.
+func (q *Query) Name() string { return q.Head.Pred }
+
+// Vars returns the set of all variables in the query.
+func (q *Query) Vars() VarSet {
+	s := make(VarSet)
+	q.Head.Vars(s)
+	for _, a := range q.Body {
+		a.Vars(s)
+	}
+	for _, c := range q.Comparisons {
+		c.Vars(s)
+	}
+	return s
+}
+
+// HasComparisons reports whether the query uses built-in predicates.
+func (q *Query) HasComparisons() bool { return len(q.Comparisons) > 0 }
+
+// HeadVars returns the set of distinguished variables (those in the head).
+func (q *Query) HeadVars() VarSet {
+	s := make(VarSet)
+	q.Head.Vars(s)
+	return s
+}
+
+// BodyVars returns the set of variables appearing in the body.
+func (q *Query) BodyVars() VarSet {
+	s := make(VarSet)
+	for _, a := range q.Body {
+		a.Vars(s)
+	}
+	return s
+}
+
+// ExistentialVars returns variables that appear in the body but not in the
+// head (nondistinguished variables).
+func (q *Query) ExistentialVars() VarSet {
+	head := q.HeadVars()
+	s := make(VarSet)
+	for v := range q.BodyVars() {
+		if !head.Has(v) {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+// IsDistinguished reports whether v appears in the head.
+func (q *Query) IsDistinguished(v Var) bool { return q.Head.HasVar(v) }
+
+// Preds returns the set of body predicate names.
+func (q *Query) Preds() map[string]struct{} {
+	s := make(map[string]struct{}, len(q.Body))
+	for _, a := range q.Body {
+		s[a.Pred] = struct{}{}
+	}
+	return s
+}
+
+// SubgoalsWithVar returns the indexes of body subgoals mentioning v.
+func (q *Query) SubgoalsWithVar(v Var) []int {
+	var out []int
+	for i, a := range q.Body {
+		if a.HasVar(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: nonempty head predicate,
+// nonempty body, and safety (every head variable occurs in the body).
+func (q *Query) Validate() error {
+	if q.Head.Pred == "" {
+		return errors.New("cq: query has empty head predicate")
+	}
+	if len(q.Body) == 0 {
+		return fmt.Errorf("cq: query %s has an empty body", q.Head.Pred)
+	}
+	body := q.BodyVars()
+	for v := range q.HeadVars() {
+		if !body.Has(v) {
+			return fmt.Errorf("cq: unsafe query %s: head variable %s does not appear in the body", q.Head.Pred, v)
+		}
+	}
+	for _, c := range q.Comparisons {
+		comp := make(VarSet)
+		c.Vars(comp)
+		for v := range comp {
+			if !body.Has(v) {
+				return fmt.Errorf("cq: unsafe query %s: compared variable %s does not appear in a relational subgoal", q.Head.Pred, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Equal reports syntactic equality including body order.
+func (q *Query) Equal(other *Query) bool {
+	if !q.Head.Equal(other.Head) || !AtomsEqual(q.Body, other.Body) {
+		return false
+	}
+	if len(q.Comparisons) != len(other.Comparisons) {
+		return false
+	}
+	for i := range q.Comparisons {
+		if !q.Comparisons[i].Equal(other.Comparisons[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualModuloBodyOrder reports equality of head and of body atom multisets.
+func (q *Query) EqualModuloBodyOrder(other *Query) bool {
+	if !q.Head.Equal(other.Head) || len(q.Body) != len(other.Body) {
+		return false
+	}
+	used := make([]bool, len(other.Body))
+outer:
+	for _, a := range q.Body {
+		for j, b := range other.Body {
+			if !used[j] && a.Equal(b) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// RemoveSubgoal returns a copy of q with body subgoal i removed
+// (comparisons are kept).
+func (q *Query) RemoveSubgoal(i int) *Query {
+	out := q.Clone()
+	out.Body = append(out.Body[:i], out.Body[i+1:]...)
+	return out
+}
+
+// KeepSubgoals returns a copy of q whose body keeps only the subgoals at
+// the given indexes, in the given order (comparisons are kept).
+func (q *Query) KeepSubgoals(idx []int) *Query {
+	body := make([]Atom, 0, len(idx))
+	for _, i := range idx {
+		body = append(body, q.Body[i].Clone())
+	}
+	out := q.Clone()
+	out.Body = body
+	return out
+}
+
+// DedupBody returns a copy of q with exact duplicate subgoals removed.
+func (q *Query) DedupBody() *Query {
+	out := q.Clone()
+	out.Body = DedupAtoms(out.Body)
+	return out
+}
+
+// RenameApart returns a copy of q whose variables are all renamed to fresh
+// variables from gen, together with the renaming used.
+func (q *Query) RenameApart(gen *FreshGen) (*Query, Subst) {
+	ren := NewSubst()
+	// Deterministic order: head first-occurrence, then body.
+	for _, v := range q.VarOrder() {
+		ren[v] = gen.Fresh()
+	}
+	return ren.Query(q), ren
+}
+
+// VarOrder returns all variables in order of first occurrence (head first,
+// then body left to right).
+func (q *Query) VarOrder() []Var {
+	seen := make(VarSet)
+	var out []Var
+	add := func(a Atom) {
+		for _, t := range a.Args {
+			if v, ok := t.(Var); ok && !seen.Has(v) {
+				seen.Add(v)
+				out = append(out, v)
+			}
+		}
+	}
+	add(q.Head)
+	for _, a := range q.Body {
+		add(a)
+	}
+	for _, c := range q.Comparisons {
+		for _, t := range []Term{c.Left, c.Right} {
+			if v, ok := t.(Var); ok && !seen.Has(v) {
+				seen.Add(v)
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the query as "h(X) :- g1(...), g2(...)".
+func (q *Query) String() string {
+	var b strings.Builder
+	q.Head.writeTo(&b)
+	b.WriteString(" :- ")
+	for i, a := range q.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.writeTo(&b)
+	}
+	for _, c := range q.Comparisons {
+		b.WriteString(", ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

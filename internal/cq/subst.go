@@ -1,0 +1,211 @@
+package cq
+
+import (
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variables to terms.
+// Applying a substitution replaces each mapped variable; unmapped variables
+// and all constants are left unchanged. Substitutions double as the
+// representation of containment mappings (homomorphisms), which
+// additionally map every constant to itself — that part is implicit.
+type Subst map[Var]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Term applies the substitution to a single term.
+func (s Subst) Term(t Term) Term {
+	if v, ok := t.(Var); ok {
+		if img, ok := s[v]; ok {
+			return img
+		}
+	}
+	return t
+}
+
+// Atom applies the substitution to every argument of a.
+func (s Subst) Atom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Term(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Atoms applies the substitution to a slice of atoms.
+func (s Subst) Atoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = s.Atom(a)
+	}
+	return out
+}
+
+// Query applies the substitution to the head, body, and comparisons of
+// q, returning a new query.
+func (s Subst) Query(q *Query) *Query {
+	out := &Query{Head: s.Atom(q.Head), Body: s.Atoms(q.Body)}
+	if len(q.Comparisons) > 0 {
+		out.Comparisons = s.Comparisons(q.Comparisons)
+	}
+	return out
+}
+
+// Compose returns the substitution t∘s, i.e. applying the result is
+// equivalent to applying s first and then t.
+func (s Subst) Compose(t Subst) Subst {
+	out := make(Subst, len(s)+len(t))
+	for v, img := range s {
+		out[v] = t.Term(img)
+	}
+	for v, img := range t {
+		if _, ok := out[v]; !ok {
+			out[v] = img
+		}
+	}
+	return out
+}
+
+// Bind extends the substitution, reporting false if v is already bound to a
+// different term. Binding a variable to its current image succeeds without
+// change.
+func (s Subst) Bind(v Var, t Term) bool {
+	if img, ok := s[v]; ok {
+		return img == t
+	}
+	s[v] = t
+	return true
+}
+
+// Match unifies a pattern term against a concrete term one-way: variables
+// of the pattern may be bound, but the concrete side is taken as-is.
+// Constants must match exactly. It reports whether the match succeeded;
+// on failure the substitution may have been partially extended, so callers
+// typically match against a clone or track a trail.
+func (s Subst) Match(pattern, concrete Term) bool {
+	switch p := pattern.(type) {
+	case Const:
+		return p == concrete
+	case Var:
+		return s.Bind(p, concrete)
+	}
+	return false
+}
+
+// MatchAtom matches a pattern atom against a concrete atom argument-wise.
+// See Match for the mutation caveat.
+func (s Subst) MatchAtom(pattern, concrete Atom) bool {
+	if pattern.Pred != concrete.Pred || len(pattern.Args) != len(concrete.Args) {
+		return false
+	}
+	for i := range pattern.Args {
+		if !s.Match(pattern.Args[i], concrete.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsInjectiveOn reports whether the substitution maps the given variables
+// to pairwise distinct terms (ignoring variables it does not bind).
+func (s Subst) IsInjectiveOn(vars []Var) bool {
+	seen := make(TermSet, len(vars))
+	for _, v := range vars {
+		img, ok := s[v]
+		if !ok {
+			continue
+		}
+		if seen.Has(img) {
+			return false
+		}
+		seen.Add(img)
+	}
+	return true
+}
+
+// String renders the substitution deterministically as {X -> a, Y -> Z}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for v := range s {
+		keys = append(keys, string(v))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString(" -> ")
+		b.WriteString(s[Var(k)].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FreshGen generates variables that are guaranteed not to collide with a
+// set of reserved names. It is used when expanding views (existential
+// variables become fresh variables of the expansion) and when renaming
+// queries apart.
+type FreshGen struct {
+	prefix   string
+	counter  int
+	reserved VarSet
+}
+
+// NewFreshGen returns a generator producing variables named prefix0,
+// prefix1, ... skipping any reserved names. A good prefix is one unlikely
+// to appear in user input, e.g. "_E".
+func NewFreshGen(prefix string, reserved VarSet) *FreshGen {
+	r := make(VarSet, len(reserved))
+	for v := range reserved {
+		r.Add(v)
+	}
+	return &FreshGen{prefix: prefix, reserved: r}
+}
+
+// Reserve marks additional names as unavailable.
+func (g *FreshGen) Reserve(vs VarSet) {
+	for v := range vs {
+		g.reserved.Add(v)
+	}
+}
+
+// Fresh returns a new variable distinct from every reserved name and from
+// every variable previously returned by this generator.
+func (g *FreshGen) Fresh() Var {
+	for {
+		v := Var(g.prefix + itoa(g.counter))
+		g.counter++
+		if !g.reserved.Has(v) {
+			g.reserved.Add(v)
+			return v
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,151 @@
+// Package cq implements conjunctive queries (select-project-join queries
+// written as Datalog rules), the shared substrate of the whole library.
+//
+// A conjunctive query has the form
+//
+//	h(X̄) :- g1(X̄1), ..., gk(X̄k)
+//
+// where each subgoal argument is a variable or a constant. Following the
+// usual Datalog convention (and the paper's notation), names beginning with
+// an upper-case letter or underscore are variables, everything else is a
+// constant. Queries must be safe: every head variable appears in the body.
+//
+// The package provides the term/atom/query AST, substitutions, fresh
+// variable generation, a parser and printer for a small Datalog dialect,
+// and canonical forms used to deduplicate rewritings up to variable
+// renaming.
+package cq
+
+import "strings"
+
+// Term is an argument of an atom: either a Var or a Const. Terms are
+// comparable values, so they can key maps and be compared with ==.
+type Term interface {
+	// String returns the Datalog spelling of the term.
+	String() string
+	// isTerm restricts implementations to this package's Var and Const.
+	isTerm()
+}
+
+// Var is a query variable. By convention its name starts with an upper-case
+// letter or underscore.
+type Var string
+
+// Const is a constant symbol. Its name starts with a lower-case letter or a
+// digit (quoted constants keep their raw spelling without the quotes).
+type Const string
+
+func (v Var) String() string   { return string(v) }
+func (c Const) String() string { return string(c) }
+
+func (Var) isTerm()   {}
+func (Const) isTerm() {}
+
+// IsVar reports whether t is a variable.
+func IsVar(t Term) bool {
+	_, ok := t.(Var)
+	return ok
+}
+
+// IsConst reports whether t is a constant.
+func IsConst(t Term) bool {
+	_, ok := t.(Const)
+	return ok
+}
+
+// NameIsVariable reports whether a bare identifier would parse as a
+// variable under the Datalog convention used by this package.
+func NameIsVariable(name string) bool {
+	if name == "" {
+		return false
+	}
+	r := rune(name[0])
+	return r == '_' || (r >= 'A' && r <= 'Z')
+}
+
+// MakeTerm converts a bare identifier into a Var or Const using the Datalog
+// naming convention.
+func MakeTerm(name string) Term {
+	if NameIsVariable(name) {
+		return Var(name)
+	}
+	return Const(name)
+}
+
+// TermSet is a set of terms.
+type TermSet map[Term]struct{}
+
+// Add inserts t.
+func (s TermSet) Add(t Term) { s[t] = struct{}{} }
+
+// Has reports membership.
+func (s TermSet) Has(t Term) bool {
+	_, ok := s[t]
+	return ok
+}
+
+// VarSet is a set of variables.
+type VarSet map[Var]struct{}
+
+// Add inserts v.
+func (s VarSet) Add(v Var) { s[v] = struct{}{} }
+
+// Has reports membership.
+func (s VarSet) Has(v Var) bool {
+	_, ok := s[v]
+	return ok
+}
+
+// AddTerm inserts t if it is a variable.
+func (s VarSet) AddTerm(t Term) {
+	if v, ok := t.(Var); ok {
+		s[v] = struct{}{}
+	}
+}
+
+// Union returns a new set containing the members of both sets.
+func (s VarSet) Union(other VarSet) VarSet {
+	out := make(VarSet, len(s)+len(other))
+	for v := range s {
+		out.Add(v)
+	}
+	for v := range other {
+		out.Add(v)
+	}
+	return out
+}
+
+// Sorted returns the variables in lexicographic order, for deterministic
+// iteration and printing.
+func (s VarSet) Sorted() []Var {
+	out := make([]Var, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sortVars(out)
+	return out
+}
+
+func sortVars(vs []Var) {
+	// Insertion sort keeps this dependency-free and is plenty fast for the
+	// small variable sets conjunctive queries have.
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// String renders the set as {A, B, C} in sorted order.
+func (s VarSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range s.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+// Database is a collection of named relations: the base relations plus any
+// materialized views.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Relation returns the named relation, or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Create adds an empty relation, replacing any existing one of the same
+// name.
+func (db *Database) Create(name string, arity int) *Relation {
+	r := NewRelation(name, arity)
+	db.rels[name] = r
+	return r
+}
+
+// Insert adds a tuple to the named relation, creating the relation with
+// the tuple's arity if it does not exist. It reports an error on arity
+// conflicts.
+func (db *Database) Insert(name string, t Tuple) error {
+	r := db.rels[name]
+	if r == nil {
+		r = db.Create(name, len(t))
+	}
+	if len(t) != r.Arity {
+		return fmt.Errorf("engine: %s has arity %d, got %d-tuple", name, r.Arity, len(t))
+	}
+	r.Insert(t)
+	return nil
+}
+
+// AddFact inserts a ground atom as a tuple.
+func (db *Database) AddFact(a cq.Atom) error {
+	if !a.IsGround() {
+		return fmt.Errorf("engine: fact %s is not ground", a)
+	}
+	t := make(Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		t[i] = arg.(cq.Const)
+	}
+	return db.Insert(a.Pred, t)
+}
+
+// LoadFacts parses and inserts a sequence of ground atoms, e.g.
+// "car(honda, a). loc(a, sf).".
+func (db *Database) LoadFacts(src string) error {
+	facts, err := cq.ParseFacts(src)
+	if err != nil {
+		return err
+	}
+	for _, f := range facts {
+		if err := db.AddFact(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalRows returns the total number of tuples across all relations.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Size()
+	}
+	return n
+}
+
+// MaterializeViews evaluates each view definition over the database and
+// stores the result as a relation named after the view (the closed-world
+// assumption: view relations are computed from the base relations). It
+// reports an error if a view name collides with an existing relation.
+func (db *Database) MaterializeViews(vs *views.Set) error {
+	for _, v := range vs.Views {
+		if db.Relation(v.Name()) != nil {
+			return fmt.Errorf("engine: relation %q already exists; cannot materialize view", v.Name())
+		}
+	}
+	for _, v := range vs.Views {
+		rel, err := db.Evaluate(v.Def)
+		if err != nil {
+			return err
+		}
+		db.rels[v.Name()] = rel
+	}
+	return nil
+}
+
+// Evaluate computes the answer relation of a conjunctive query over the
+// database (set semantics). Missing body relations evaluate as empty.
+func (db *Database) Evaluate(q *cq.Query) (*Relation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	vr, err := db.JoinAll(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	if q.HasComparisons() {
+		vr, err = FilterComparisons(vr, q.Comparisons)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := NewRelation(q.Name(), q.Head.Arity())
+	cols := make([]int, len(q.Head.Args))
+	consts := make([]Value, len(q.Head.Args))
+	for i, arg := range q.Head.Args {
+		switch a := arg.(type) {
+		case cq.Var:
+			c := vr.Schema.IndexOf(a)
+			if c < 0 {
+				return nil, fmt.Errorf("engine: head variable %s missing from join schema", a)
+			}
+			cols[i] = c
+		case cq.Const:
+			cols[i] = -1
+			consts[i] = a
+		}
+	}
+	for _, row := range vr.Rows() {
+		t := make(Tuple, len(cols))
+		for i, c := range cols {
+			if c < 0 {
+				t[i] = consts[i]
+			} else {
+				t[i] = row[c]
+			}
+		}
+		out.Insert(t)
+	}
+	return out, nil
+}
+
+// JoinAll joins the atoms in a greedy selective-first order, returning the
+// final intermediate relation over all body variables.
+func (db *Database) JoinAll(body []cq.Atom) (*VarRelation, error) {
+	order := db.greedyOrder(body)
+	cur := UnitVarRelation()
+	for _, idx := range order {
+		next, err := db.JoinStep(cur, body[idx], nil)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// greedyOrder picks a join order preferring small relations and atoms
+// sharing variables with what is already joined.
+func (db *Database) greedyOrder(body []cq.Atom) []int {
+	n := len(body)
+	used := make([]bool, n)
+	bound := make(cq.VarSet)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		best, bestScore := -1, 0
+		for i, a := range body {
+			if used[i] {
+				continue
+			}
+			size := 0
+			if r := db.Relation(a.Pred); r != nil {
+				size = r.Size()
+			}
+			score := size * 4
+			for _, t := range a.Args {
+				if v, ok := t.(cq.Var); ok && bound.Has(v) {
+					score -= size // joining on a bound variable prunes hard
+				}
+				if cq.IsConst(t) {
+					score -= size / 2
+				}
+			}
+			if best == -1 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		used[best] = true
+		body[best].Vars(bound)
+		out = append(out, best)
+	}
+	return out
+}
+
+// JoinStep joins the current intermediate relation with one subgoal's
+// relation: a hash join on the variables shared between the intermediate
+// schema and the atom, with constant and repeated-variable positions of
+// the atom checked on the fly. If retain is non-nil the result is
+// projected onto those variables (set semantics); otherwise every
+// variable of the current schema plus the atom's new variables is kept.
+// Unknown predicates join as empty relations.
+func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*VarRelation, error) {
+	rel := db.Relation(atom.Pred)
+	if rel == nil {
+		rel = NewRelation(atom.Pred, atom.Arity())
+	}
+	if rel.Arity != atom.Arity() {
+		return nil, fmt.Errorf("engine: subgoal %s has arity %d, relation has %d", atom, atom.Arity(), rel.Arity)
+	}
+
+	// Classify the atom's positions.
+	type varPos struct {
+		v     cq.Var
+		first int // first position of v within the atom
+	}
+	joinCols := make([]int, 0, len(atom.Args)) // positions joined with cur
+	curCols := make([]int, 0, len(atom.Args))  // matching columns in cur
+	var newVars []varPos                       // variables new to the schema
+	firstPos := make(map[cq.Var]int)           // first occurrence within atom
+	for i, arg := range atom.Args {
+		v, ok := arg.(cq.Var)
+		if !ok {
+			continue
+		}
+		if _, seen := firstPos[v]; !seen {
+			firstPos[v] = i
+			if c := cur.Schema.IndexOf(v); c >= 0 {
+				joinCols = append(joinCols, i)
+				curCols = append(curCols, c)
+			} else {
+				newVars = append(newVars, varPos{v, i})
+			}
+		}
+	}
+
+	// rowMatches checks constants and repeated variables of the atom.
+	rowMatches := func(row Tuple) bool {
+		for i, arg := range atom.Args {
+			switch a := arg.(type) {
+			case cq.Const:
+				if row[i] != a {
+					return false
+				}
+			case cq.Var:
+				if row[i] != row[firstPos[a]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// Probe the relation's cached hash index on the join positions;
+	// constant and repeated-variable checks run per candidate row so the
+	// index is reusable across atoms with different filters.
+	index := rel.IndexOn(joinCols)
+
+	outSchema := append(Schema(nil), cur.Schema...)
+	for _, nv := range newVars {
+		outSchema = append(outSchema, nv.v)
+	}
+	out := NewVarRelation(outSchema)
+	probe := make(Tuple, len(curCols))
+	for _, left := range cur.Rows() {
+		for k, c := range curCols {
+			probe[k] = left[c]
+		}
+		for _, right := range index[probe.Key()] {
+			if !rowMatches(right) {
+				continue
+			}
+			row := make(Tuple, 0, len(outSchema))
+			row = append(row, left...)
+			for _, nv := range newVars {
+				row = append(row, right[nv.first])
+			}
+			out.Insert(row)
+		}
+	}
+	if retain != nil {
+		return out.Project(retain)
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"math/rand"
+	"strconv"
+
+	"viewplan/internal/cq"
+)
+
+// DataGen fills base relations with synthetic data for the M2/M3 cost
+// experiments. Values are drawn from per-column domains; a Zipf-ish skew
+// knob concentrates values to create selective and unselective joins, the
+// regime where filtering views (Section 5.1) pay off.
+type DataGen struct {
+	rnd *rand.Rand
+	// DomainSize is the number of distinct values per column domain.
+	DomainSize int
+	// Skew in [0, 1): 0 is uniform; larger values concentrate probability
+	// on low-numbered domain values.
+	Skew float64
+}
+
+// NewDataGen creates a generator with the given seed and domain size.
+func NewDataGen(seed int64, domainSize int) *DataGen {
+	if domainSize <= 0 {
+		domainSize = 100
+	}
+	return &DataGen{rnd: rand.New(rand.NewSource(seed)), DomainSize: domainSize}
+}
+
+// Value draws one value from the domain.
+func (g *DataGen) Value() Value {
+	n := g.DomainSize
+	var i int
+	if g.Skew <= 0 {
+		i = g.rnd.Intn(n)
+	} else {
+		// Simple power-law: bias toward small indexes.
+		u := g.rnd.Float64()
+		i = int(float64(n) * powSkew(u, g.Skew))
+		if i >= n {
+			i = n - 1
+		}
+	}
+	return Value("c" + strconv.Itoa(i))
+}
+
+func powSkew(u, skew float64) float64 {
+	// Interpolate between uniform (skew 0) and quadratic concentration.
+	return u * ((1 - skew) + skew*u)
+}
+
+// Fill inserts rows random tuples into the named relation of the given
+// arity (set semantics, so the final size can be slightly below rows when
+// duplicates collide).
+func (g *DataGen) Fill(db *Database, name string, arity, rows int) {
+	r := db.Relation(name)
+	if r == nil {
+		r = db.Create(name, arity)
+	}
+	for i := 0; i < rows; i++ {
+		t := make(Tuple, arity)
+		for j := range t {
+			t[j] = g.Value()
+		}
+		r.Insert(t)
+	}
+}
+
+// FillForQuery creates and fills every base relation mentioned by the
+// query body with rows random tuples each.
+func (g *DataGen) FillForQuery(db *Database, q *cq.Query, rows int) {
+	for _, a := range q.Body {
+		if db.Relation(a.Pred) == nil {
+			g.Fill(db, a.Pred, a.Arity(), rows)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package engine is a small in-memory relational engine: named relations
+// with set semantics, conjunctive-query evaluation by pipelined hash
+// joins, and view materialization. It is the execution substrate for the
+// cost models of Sections 5 and 6 — physical plans are simulated on real
+// data so intermediate-relation and generalized-supplementary-relation
+// sizes are measured, not estimated.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"viewplan/internal/cq"
+)
+
+// Value is a database constant. It aliases cq.Const so ground atoms flow
+// between the logical and physical layers without conversion.
+type Value = cq.Const
+
+// Tuple is one row of a relation.
+type Tuple []Value
+
+// Key returns a collision-free string encoding of the tuple
+// (length-prefixed so values containing separators cannot collide).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Relation is a named relation with set semantics: inserting a duplicate
+// row is a no-op. Hash indexes built for joins are cached per column set
+// and invalidated by inserts, so repeated planning over the same
+// materialized views (the optimizer probes each view relation many
+// times) pays the index build once.
+type Relation struct {
+	Name  string
+	Arity int
+
+	rows    []Tuple
+	seen    map[string]struct{}
+	indexes map[string]map[string][]Tuple
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, seen: make(map[string]struct{})}
+}
+
+// Insert adds a row, reporting whether it was new. It panics on arity
+// mismatch (an internal programming error, not a data error).
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("engine: inserting %d-tuple into %s/%d", len(t), r.Name, r.Arity))
+	}
+	k := t.Key()
+	if _, dup := r.seen[k]; dup {
+		return false
+	}
+	r.seen[k] = struct{}{}
+	r.rows = append(r.rows, t.Clone())
+	r.indexes = nil // cached indexes are stale
+	return true
+}
+
+// IndexOn returns a hash index of the relation keyed by the values at
+// the given columns, building and caching it on first use. The returned
+// map must not be modified. An empty column list yields a single bucket
+// holding every row.
+func (r *Relation) IndexOn(cols []int) map[string][]Tuple {
+	sig := colsKey(cols)
+	if idx, ok := r.indexes[sig]; ok {
+		return idx
+	}
+	idx := make(map[string][]Tuple)
+	key := make(Tuple, len(cols))
+	for _, row := range r.rows {
+		for k, c := range cols {
+			key[k] = row[c]
+		}
+		s := key.Key()
+		idx[s] = append(idx[s], row)
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[string]map[string][]Tuple)
+	}
+	r.indexes[sig] = idx
+	return idx
+}
+
+func colsKey(cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		b.WriteString(strconv.Itoa(c))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Size returns the number of rows.
+func (r *Relation) Size() int { return len(r.rows) }
+
+// Rows returns the rows in insertion order. The slice and its tuples must
+// not be modified.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Contains reports whether the relation holds the tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.seen[t.Key()]
+	return ok
+}
+
+// SortedRows returns the rows in lexicographic order (for deterministic
+// output).
+func (r *Relation) SortedRows() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool { return tupleLess(out[i], out[j]) })
+	return out
+}
+
+func tupleLess(a, b Tuple) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// String renders the relation as name(arity)[size].
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s/%d[%d rows]", r.Name, r.Arity, r.Size())
+}
+
+// Schema is an ordered list of variables naming the columns of an
+// intermediate (variable-schema) relation.
+type Schema []cq.Var
+
+// IndexOf returns the column of v, or -1.
+func (s Schema) IndexOf(v cq.Var) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// VarRelation is an intermediate relation whose columns are query
+// variables: the IR_i / GSR_i of the paper's cost models.
+type VarRelation struct {
+	Schema Schema
+	rows   []Tuple
+	seen   map[string]struct{}
+}
+
+// NewVarRelation creates an empty intermediate relation over the schema.
+func NewVarRelation(schema Schema) *VarRelation {
+	return &VarRelation{Schema: schema, seen: make(map[string]struct{})}
+}
+
+// UnitVarRelation returns the join identity: an empty schema with one
+// empty row.
+func UnitVarRelation() *VarRelation {
+	vr := NewVarRelation(nil)
+	vr.Insert(Tuple{})
+	return vr
+}
+
+// Insert adds a row with set semantics, reporting whether it was new.
+func (vr *VarRelation) Insert(t Tuple) bool {
+	if len(t) != len(vr.Schema) {
+		panic(fmt.Sprintf("engine: inserting %d-tuple into schema of %d columns", len(t), len(vr.Schema)))
+	}
+	k := t.Key()
+	if _, dup := vr.seen[k]; dup {
+		return false
+	}
+	vr.seen[k] = struct{}{}
+	vr.rows = append(vr.rows, t.Clone())
+	return true
+}
+
+// Size returns the number of rows.
+func (vr *VarRelation) Size() int { return len(vr.rows) }
+
+// Rows returns the rows in insertion order (do not modify).
+func (vr *VarRelation) Rows() []Tuple { return vr.rows }
+
+// Project returns a new VarRelation keeping only the given variables (in
+// the given order), deduplicating rows (set semantics). Variables absent
+// from the schema are rejected.
+func (vr *VarRelation) Project(keep []cq.Var) (*VarRelation, error) {
+	cols := make([]int, len(keep))
+	for i, v := range keep {
+		c := vr.Schema.IndexOf(v)
+		if c < 0 {
+			return nil, fmt.Errorf("engine: projection variable %s not in schema %v", v, vr.Schema)
+		}
+		cols[i] = c
+	}
+	out := NewVarRelation(append(Schema(nil), keep...))
+	for _, row := range vr.rows {
+		t := make(Tuple, len(cols))
+		for i, c := range cols {
+			t[i] = row[c]
+		}
+		out.Insert(t)
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+// Package experiments regenerates every figure of the paper's Section 7:
+// for star and chain queries it sweeps the number of views and measures
+// (a) the wall-clock time for CoreCover to produce all globally-minimal
+// rewritings (Figures 6 and 8) and (b) the number of view equivalence
+// classes, view tuples, and representative view tuples (Figures 7 and 9).
+// Queries without rewritings are skipped, 40 queries are averaged per
+// point, and the timed region includes equivalence-class grouping —
+// matching the paper's protocol.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"viewplan/internal/corecover"
+	"viewplan/internal/views"
+	"viewplan/internal/workload"
+)
+
+// Point is one x-axis position of a sweep with averaged measurements.
+type Point struct {
+	// NumViews is the x coordinate.
+	NumViews int
+	// AvgMillis is the mean CoreCover time (all GMRs) over the queries
+	// that had rewritings.
+	AvgMillis float64
+	// MaxMillis is the worst query's time.
+	MaxMillis float64
+	// AvgViewClasses is the mean number of view equivalence classes
+	// (Figures 7(a)/9(a), "number of representative views").
+	AvgViewClasses float64
+	// AvgAllTuples is the mean number of view tuples computed from all
+	// views (Figures 7(b)/9(b), "all view tuples").
+	AvgAllTuples float64
+	// AvgRepTuples is the mean number of representative view tuples
+	// (distinct tuple-core classes).
+	AvgRepTuples float64
+	// AvgGMRs and AvgGMRSize describe the rewritings found.
+	AvgGMRs    float64
+	AvgGMRSize float64
+	// WithRewriting counts the queries that had a rewriting, out of
+	// Queries attempted.
+	WithRewriting int
+	Queries       int
+}
+
+// SweepConfig parameterizes one figure-generating sweep.
+type SweepConfig struct {
+	Shape workload.Shape
+	// Nondistinguished is 0 for the (a) figures, 1 for the (b) variants.
+	Nondistinguished int
+	// ViewCounts is the x axis, e.g. 100, 200, ..., 1000.
+	ViewCounts []int
+	// QueriesPerPoint is the number of random queries averaged per x
+	// (paper: 40).
+	QueriesPerPoint int
+	// QuerySubgoals is the query body size (paper: 8).
+	QuerySubgoals int
+	// Seed offsets the deterministic instance seeds.
+	Seed int64
+	// Options forwards CoreCover options (used by the grouping ablation).
+	Options corecover.Options
+	// Parallelism runs that many queries concurrently per point (0 or 1 =
+	// sequential). Instances are seeded deterministically, so aggregates
+	// are identical to a sequential run; per-query wall times are still
+	// measured individually.
+	Parallelism int
+}
+
+// DefaultViewCounts is the paper's x axis: 100 to 1000 views.
+func DefaultViewCounts() []int {
+	out := make([]int, 0, 10)
+	for n := 100; n <= 1000; n += 100 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Normalize fills zero fields with the paper's protocol values.
+func (c SweepConfig) Normalize() SweepConfig {
+	if len(c.ViewCounts) == 0 {
+		c.ViewCounts = DefaultViewCounts()
+	}
+	if c.QueriesPerPoint == 0 {
+		c.QueriesPerPoint = 40
+	}
+	if c.QuerySubgoals == 0 {
+		c.QuerySubgoals = 8
+	}
+	return c
+}
+
+// queryResult holds one query's measurements for aggregation.
+type queryResult struct {
+	ok                     bool
+	ms                     float64
+	viewClasses, repTuples int
+	gmrs, gmrSize          int
+	allTuples              int
+	err                    error
+}
+
+// Run executes the sweep and returns one Point per view count.
+func Run(cfg SweepConfig) ([]Point, error) {
+	cfg = cfg.Normalize()
+	out := make([]Point, 0, len(cfg.ViewCounts))
+	for xi, nv := range cfg.ViewCounts {
+		pt := Point{NumViews: nv, Queries: cfg.QueriesPerPoint}
+		results := make([]queryResult, cfg.QueriesPerPoint)
+		runOne := func(qi int) queryResult {
+			inst, err := workload.Generate(workload.Config{
+				Shape:            cfg.Shape,
+				QuerySubgoals:    cfg.QuerySubgoals,
+				NumViews:         nv,
+				Nondistinguished: cfg.Nondistinguished,
+				Seed:             cfg.Seed + int64(xi*10000+qi),
+			})
+			if err != nil {
+				return queryResult{err: err}
+			}
+			start := time.Now()
+			res, err := corecover.CoreCover(inst.Query, inst.Views, cfg.Options)
+			if err != nil {
+				return queryResult{err: err}
+			}
+			elapsed := time.Since(start)
+			if len(res.Rewritings) == 0 {
+				return queryResult{} // the paper ignores queries without rewritings
+			}
+			return queryResult{
+				ok:          true,
+				ms:          float64(elapsed.Microseconds()) / 1000.0,
+				viewClasses: len(res.ViewClasses),
+				repTuples:   countNonEmptyClasses(res),
+				gmrs:        len(res.Rewritings),
+				gmrSize:     res.GMRSize(),
+				// "All view tuples" counts tuples from the full, ungrouped
+				// view set (the upper curve of Figures 7(b)/9(b)).
+				allTuples: len(views.ComputeTuples(res.MinimalQuery, inst.Views)),
+			}
+		}
+		if cfg.Parallelism > 1 {
+			sem := make(chan struct{}, cfg.Parallelism)
+			var wg sync.WaitGroup
+			for qi := 0; qi < cfg.QueriesPerPoint; qi++ {
+				wg.Add(1)
+				go func(qi int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					results[qi] = runOne(qi)
+					<-sem
+				}(qi)
+			}
+			wg.Wait()
+		} else {
+			for qi := 0; qi < cfg.QueriesPerPoint; qi++ {
+				results[qi] = runOne(qi)
+			}
+		}
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+			if !r.ok {
+				continue
+			}
+			pt.WithRewriting++
+			pt.AvgMillis += r.ms
+			if r.ms > pt.MaxMillis {
+				pt.MaxMillis = r.ms
+			}
+			pt.AvgViewClasses += float64(r.viewClasses)
+			pt.AvgRepTuples += float64(r.repTuples)
+			pt.AvgGMRs += float64(r.gmrs)
+			pt.AvgGMRSize += float64(r.gmrSize)
+			pt.AvgAllTuples += float64(r.allTuples)
+		}
+		if pt.WithRewriting > 0 {
+			n := float64(pt.WithRewriting)
+			pt.AvgMillis /= n
+			pt.AvgViewClasses /= n
+			pt.AvgRepTuples /= n
+			pt.AvgAllTuples /= n
+			pt.AvgGMRs /= n
+			pt.AvgGMRSize /= n
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func countNonEmptyClasses(res *corecover.Result) int {
+	n := 0
+	for _, c := range res.Classes {
+		if !c.Core.IsEmpty() {
+			n++
+		}
+	}
+	return n
+}
+
+// Figure identifies one of the paper's experimental figures.
+type Figure string
+
+// The eight experimental figures of Section 7.
+const (
+	Fig6a Figure = "6a" // star, all distinguished: time for all GMRs
+	Fig6b Figure = "6b" // star, 1 nondistinguished: time for all GMRs
+	Fig7a Figure = "7a" // star: view equivalence classes
+	Fig7b Figure = "7b" // star: view tuples vs representative view tuples
+	Fig8a Figure = "8a" // chain, all distinguished: time for all GMRs
+	Fig8b Figure = "8b" // chain, 1 nondistinguished: time for all GMRs
+	Fig9a Figure = "9a" // chain: view equivalence classes
+	Fig9b Figure = "9b" // chain: view tuples vs representative view tuples
+)
+
+// AllFigures lists the experimental figures in paper order.
+func AllFigures() []Figure {
+	return []Figure{Fig6a, Fig6b, Fig7a, Fig7b, Fig8a, Fig8b, Fig9a, Fig9b}
+}
+
+// ConfigFor returns the sweep configuration reproducing a figure. Several
+// figures share a sweep (timing and class counts come from the same runs,
+// as in the paper); the figure only selects which columns to print.
+func ConfigFor(fig Figure) (SweepConfig, error) {
+	base := SweepConfig{}.Normalize()
+	switch fig {
+	case Fig6a, Fig7a, Fig7b:
+		base.Shape = workload.Star
+	case Fig6b:
+		base.Shape = workload.Star
+		base.Nondistinguished = 1
+	case Fig8a, Fig9a, Fig9b:
+		base.Shape = workload.Chain
+	case Fig8b:
+		base.Shape = workload.Chain
+		base.Nondistinguished = 1
+	default:
+		return SweepConfig{}, fmt.Errorf("experiments: unknown figure %q", fig)
+	}
+	return base, nil
+}
+
+// Render writes a figure's series as an aligned text table (and CSV-ready
+// columns) to w.
+func Render(w io.Writer, fig Figure, points []Point) {
+	switch fig {
+	case Fig6a, Fig6b, Fig8a, Fig8b:
+		fmt.Fprintf(w, "# Figure %s: time of generating all GMRs (ms)\n", fig)
+		fmt.Fprintf(w, "%-10s %-12s %-12s %-14s\n", "views", "avg_ms", "max_ms", "with_rewriting")
+		for _, p := range points {
+			fmt.Fprintf(w, "%-10d %-12.3f %-12.3f %d/%d\n", p.NumViews, p.AvgMillis, p.MaxMillis, p.WithRewriting, p.Queries)
+		}
+	case Fig7a, Fig9a:
+		fmt.Fprintf(w, "# Figure %s: number of view equivalence classes\n", fig)
+		fmt.Fprintf(w, "%-10s %-20s\n", "views", "representative_views")
+		for _, p := range points {
+			fmt.Fprintf(w, "%-10d %-20.1f\n", p.NumViews, p.AvgViewClasses)
+		}
+	case Fig7b, Fig9b:
+		fmt.Fprintf(w, "# Figure %s: view tuples vs representative view tuples\n", fig)
+		fmt.Fprintf(w, "%-10s %-16s %-24s\n", "views", "all_view_tuples", "representative_tuples")
+		for _, p := range points {
+			fmt.Fprintf(w, "%-10d %-16.1f %-24.1f\n", p.NumViews, p.AvgAllTuples, p.AvgRepTuples)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"viewplan/internal/workload"
+)
+
+// smallSweep keeps test time reasonable while exercising the full path.
+func smallSweep(shape workload.Shape, nondist int) SweepConfig {
+	return SweepConfig{
+		Shape:            shape,
+		Nondistinguished: nondist,
+		ViewCounts:       []int{40, 80},
+		QueriesPerPoint:  4,
+		QuerySubgoals:    6,
+		Seed:             100,
+	}
+}
+
+func TestRunStarSweep(t *testing.T) {
+	pts, err := Run(smallSweep(workload.Star, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	for _, p := range pts {
+		if p.WithRewriting == 0 {
+			t.Errorf("no rewritings at %d views", p.NumViews)
+			continue
+		}
+		if p.AvgViewClasses <= 0 || p.AvgViewClasses > float64(p.NumViews) {
+			t.Errorf("view classes = %f at %d views", p.AvgViewClasses, p.NumViews)
+		}
+		if p.AvgRepTuples <= 0 {
+			t.Errorf("rep tuples = %f", p.AvgRepTuples)
+		}
+		if p.AvgAllTuples < p.AvgRepTuples {
+			t.Errorf("all tuples %f < representative tuples %f", p.AvgAllTuples, p.AvgRepTuples)
+		}
+		if p.AvgGMRSize <= 0 {
+			t.Errorf("GMR size = %f", p.AvgGMRSize)
+		}
+	}
+}
+
+func TestRepresentativeTuplesNearConstant(t *testing.T) {
+	// The Figure 7(b)/9(b) shape: representative view tuples stay bounded
+	// by a function of the query, not of the number of views.
+	pts, err := Run(SweepConfig{
+		Shape:           workload.Chain,
+		ViewCounts:      []int{50, 150},
+		QueriesPerPoint: 4,
+		QuerySubgoals:   6,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].WithRewriting == 0 || pts[1].WithRewriting == 0 {
+		t.Fatalf("points = %+v", pts)
+	}
+	// With 6 chain subgoals there are at most 6+5+4 = 15 distinct
+	// contiguous fragments of length <= 3, so representative tuples must
+	// stay <= 15 no matter how many views exist.
+	for _, p := range pts {
+		if p.AvgRepTuples > 15 {
+			t.Errorf("representative tuples %f exceed the fragment bound", p.AvgRepTuples)
+		}
+	}
+	// The all-tuples curve grows with views.
+	if pts[1].AvgAllTuples <= pts[0].AvgAllTuples {
+		t.Logf("all tuples did not grow (%f -> %f): acceptable for small sweeps",
+			pts[0].AvgAllTuples, pts[1].AvgAllTuples)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	base := smallSweep(workload.Star, 0)
+	seq, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Parallelism = 4
+	got, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(got) {
+		t.Fatalf("point counts differ: %d vs %d", len(seq), len(got))
+	}
+	for i := range seq {
+		// Timing fields vary; structural aggregates must be identical
+		// because seeding is deterministic per query index.
+		if seq[i].WithRewriting != got[i].WithRewriting ||
+			seq[i].AvgViewClasses != got[i].AvgViewClasses ||
+			seq[i].AvgRepTuples != got[i].AvgRepTuples ||
+			seq[i].AvgGMRs != got[i].AvgGMRs ||
+			seq[i].AvgGMRSize != got[i].AvgGMRSize ||
+			seq[i].AvgAllTuples != got[i].AvgAllTuples {
+			t.Errorf("point %d differs: seq %+v, par %+v", i, seq[i], got[i])
+		}
+	}
+}
+
+func TestConfigForAllFigures(t *testing.T) {
+	for _, fig := range AllFigures() {
+		cfg, err := ConfigFor(fig)
+		if err != nil {
+			t.Errorf("ConfigFor(%s): %v", fig, err)
+			continue
+		}
+		switch fig {
+		case Fig6a, Fig6b, Fig7a, Fig7b:
+			if cfg.Shape != workload.Star {
+				t.Errorf("%s shape = %v", fig, cfg.Shape)
+			}
+		default:
+			if cfg.Shape != workload.Chain {
+				t.Errorf("%s shape = %v", fig, cfg.Shape)
+			}
+		}
+		if (fig == Fig6b || fig == Fig8b) != (cfg.Nondistinguished == 1) {
+			t.Errorf("%s nondistinguished = %d", fig, cfg.Nondistinguished)
+		}
+	}
+	if _, err := ConfigFor("nope"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	pts := []Point{{NumViews: 100, AvgMillis: 1.5, MaxMillis: 3.0, AvgViewClasses: 42,
+		AvgAllTuples: 20, AvgRepTuples: 5, WithRewriting: 39, Queries: 40}}
+	for _, fig := range AllFigures() {
+		var b bytes.Buffer
+		Render(&b, fig, pts)
+		out := b.String()
+		if !strings.Contains(out, "Figure "+string(fig)) {
+			t.Errorf("render %s missing header: %q", fig, out)
+		}
+		if !strings.Contains(out, "100") {
+			t.Errorf("render %s missing data: %q", fig, out)
+		}
+	}
+}
+
+func TestDefaultViewCounts(t *testing.T) {
+	vc := DefaultViewCounts()
+	if len(vc) != 10 || vc[0] != 100 || vc[9] != 1000 {
+		t.Errorf("view counts = %v", vc)
+	}
+}

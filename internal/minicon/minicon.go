@@ -1,0 +1,458 @@
+// Package minicon implements the MiniCon algorithm [Pottinger & Levy,
+// VLDB 2000] as the paper's main comparison baseline (Section 4.3).
+//
+// MiniCon forms MiniCon Descriptions (MCDs): for each query subgoal and
+// each view subgoal with the same predicate it tries to build a mapping
+// from a minimal set of query subgoals into the view, under a head
+// homomorphism that may equate the view's distinguished variables or bind
+// them to constants. MCDs whose covered subgoal sets partition the query
+// body combine into rewritings.
+//
+// MiniCon targets maximally-contained rewritings under the open-world
+// assumption; to compare against CoreCover in the paper's closed-world
+// setting, Rewritings optionally filters the combinations down to
+// equivalent rewritings. The qualitative contrasts from Section 4.3 hold:
+// MCDs are minimal where tuple-cores are maximal, combinations must be
+// disjoint where covers may overlap, and MiniCon enumerates rewritings
+// with redundant subgoals that CoreCover never generates.
+package minicon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+// MCD is one MiniCon Description.
+type MCD struct {
+	// View is the source view.
+	View *views.View
+	// Covered is the set of query body indexes covered by this MCD.
+	Covered map[int]struct{}
+	// Phi maps query variables of the covered subgoals to view terms
+	// (head-homomorphism representatives for distinguished positions,
+	// existential view variables otherwise).
+	Phi map[cq.Var]cq.Term
+	// Head is the view literal this MCD contributes to a rewriting: the
+	// view head under the head homomorphism, with query variables
+	// substituted for the distinguished positions they map to and fresh
+	// variables elsewhere.
+	Head cq.Atom
+}
+
+// CoveredSorted returns the covered subgoal indexes in increasing order.
+func (m *MCD) CoveredSorted() []int {
+	out := make([]int, 0, len(m.Covered))
+	for i := range m.Covered {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the MCD compactly.
+func (m *MCD) String() string {
+	return fmt.Sprintf("MCD{%s covers %v}", m.Head, m.CoveredSorted())
+}
+
+// headHom is a head homomorphism on a view's distinguished variables:
+// a union-find whose classes may be pinned to a constant.
+type headHom struct {
+	parent map[cq.Var]cq.Var
+	value  map[cq.Var]cq.Const // constant pinned to a class root
+}
+
+func newHeadHom() *headHom {
+	return &headHom{parent: make(map[cq.Var]cq.Var), value: make(map[cq.Var]cq.Const)}
+}
+
+func (h *headHom) clone() *headHom {
+	c := newHeadHom()
+	for k, v := range h.parent {
+		c.parent[k] = v
+	}
+	for k, v := range h.value {
+		c.value[k] = v
+	}
+	return c
+}
+
+func (h *headHom) find(v cq.Var) cq.Var {
+	p, ok := h.parent[v]
+	if !ok || p == v {
+		if !ok {
+			h.parent[v] = v
+		}
+		return v
+	}
+	r := h.find(p)
+	h.parent[v] = r
+	return r
+}
+
+// union merges the classes of a and b.
+func (h *headHom) union(a, b cq.Var) bool {
+	ra, rb := h.find(a), h.find(b)
+	if ra == rb {
+		return true
+	}
+	va, okA := h.value[ra]
+	vb, okB := h.value[rb]
+	if okA && okB && va != vb {
+		return false
+	}
+	h.parent[ra] = rb
+	if okA {
+		h.value[rb] = va
+	}
+	return true
+}
+
+// pin binds the class of v to a constant.
+func (h *headHom) pin(v cq.Var, c cq.Const) bool {
+	r := h.find(v)
+	if old, ok := h.value[r]; ok {
+		return old == c
+	}
+	h.value[r] = c
+	return true
+}
+
+// image returns the term the head homomorphism sends v to.
+func (h *headHom) image(v cq.Var) cq.Term {
+	r := h.find(v)
+	if c, ok := h.value[r]; ok {
+		return c
+	}
+	return r
+}
+
+// FormMCDs computes all MCDs of the query over the view set. The query
+// should be minimized first (callers compare against CoreCover, which
+// minimizes as its first step).
+func FormMCDs(q *cq.Query, vs *views.Set) []*MCD {
+	var out []*MCD
+	seen := make(map[string]struct{})
+	headVars := q.HeadVars()
+	// One generator across all MCDs: fresh variables of different MCDs
+	// must not collide when MCDs are combined into one rewriting.
+	gen := cq.NewFreshGen("_F", q.Vars())
+	for _, v := range vs.Views {
+		dist := v.Def.HeadVars()
+		for gi := range q.Body {
+			for _, m := range buildMCD(q, headVars, v, dist, gi, gen) {
+				key := mcdKey(m)
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// buildMCD seeds an MCD at query subgoal gi and closes it under
+// MiniCon's property C2 (an existential query variable mapped to an
+// existential view variable forces every subgoal using it into the MCD).
+// The seed subgoal's target view subgoal and all closure choices are
+// explored by backtracking; every successful minimal closure is returned.
+func buildMCD(q *cq.Query, headVars cq.VarSet, v *views.View, dist cq.VarSet, gi int, gen *cq.FreshGen) []*MCD {
+	type state struct {
+		h       *headHom
+		phi     map[cq.Var]cq.Term
+		covered map[int]struct{}
+		queue   []int // subgoals still to map
+	}
+
+	var results []*MCD
+	var rec func(st *state)
+
+	// unifyAtom unifies query atom g with view atom w under st, returning
+	// false on failure. It may enqueue further subgoals via C2.
+	unify := func(st *state, g, wAtom cq.Atom) bool {
+		for i := range g.Args {
+			a := g.Args[i]
+			b := wAtom.Args[i]
+			switch bt := b.(type) {
+			case cq.Const:
+				switch at := a.(type) {
+				case cq.Const:
+					if at != bt {
+						return false
+					}
+				case cq.Var:
+					if old, ok := st.phi[at]; ok {
+						if old != cq.Term(bt) {
+							// Could still be reconcilable through the head
+							// homomorphism if old is distinguished.
+							if ov, isVar := old.(cq.Var); isVar && dist.Has(ov) {
+								if !st.h.pin(ov, bt) {
+									return false
+								}
+								continue
+							}
+							return false
+						}
+					} else {
+						st.phi[at] = bt
+					}
+				}
+			case cq.Var:
+				isDist := dist.Has(bt)
+				switch at := a.(type) {
+				case cq.Const:
+					if !isDist {
+						return false // cannot restrict an existential view var
+					}
+					if !st.h.pin(bt, at) {
+						return false
+					}
+				case cq.Var:
+					if !isDist {
+						// Query variable maps to an existential view var.
+						if headVars.Has(at) {
+							return false // distinguished query var hidden
+						}
+						if old, ok := st.phi[at]; ok {
+							if old != cq.Term(bt) {
+								return false
+							}
+						} else {
+							st.phi[at] = bt
+							// C2: every subgoal using at must join the MCD.
+							for _, sg := range q.SubgoalsWithVar(at) {
+								if _, in := st.covered[sg]; !in && !inQueue(st.queue, sg) {
+									st.queue = append(st.queue, sg)
+								}
+							}
+						}
+					} else {
+						if old, ok := st.phi[at]; ok {
+							switch ov := old.(type) {
+							case cq.Const:
+								if !st.h.pin(bt, ov) {
+									return false
+								}
+							case cq.Var:
+								if dist.Has(ov) {
+									if !st.h.union(ov, bt) {
+										return false
+									}
+								} else if ov != bt {
+									return false // existential vs distinguished clash
+								}
+							}
+						} else {
+							st.phi[at] = bt
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	rec = func(st *state) {
+		if len(st.queue) == 0 {
+			results = append(results, finishMCD(q, v, dist, st.h, st.phi, st.covered, gen))
+			return
+		}
+		sg := st.queue[0]
+		rest := st.queue[1:]
+		if _, done := st.covered[sg]; done {
+			next := &state{h: st.h, phi: st.phi, covered: st.covered, queue: rest}
+			rec(next)
+			return
+		}
+		g := q.Body[sg]
+		for _, wc := range v.Def.Body {
+			if wc.Pred != g.Pred || wc.Arity() != g.Arity() {
+				continue
+			}
+			// Branch: clone state, attempt unification.
+			br := &state{
+				h:       st.h.clone(),
+				phi:     clonePhi(st.phi),
+				covered: cloneCovered(st.covered),
+				queue:   append([]int(nil), rest...),
+			}
+			br.covered[sg] = struct{}{}
+			if unify(br, g, wc) {
+				rec(br)
+			}
+		}
+	}
+
+	st0 := &state{
+		h:       newHeadHom(),
+		phi:     make(map[cq.Var]cq.Term),
+		covered: make(map[int]struct{}),
+		queue:   []int{gi},
+	}
+	rec(st0)
+	return results
+}
+
+func finishMCD(q *cq.Query, v *views.View, dist cq.VarSet, h *headHom, phi map[cq.Var]cq.Term, covered map[int]struct{}, gen *cq.FreshGen) *MCD {
+	// Build the contributed view literal: each head position gets the
+	// query variable mapping to its class, the pinned constant, or a
+	// fresh variable.
+	inverse := make(map[cq.Term]cq.Var)
+	for qv, img := range phi {
+		if iv, ok := img.(cq.Var); ok && dist.Has(iv) {
+			inverse[h.image(iv)] = qv
+		}
+	}
+	freshFor := make(map[cq.Var]cq.Var)
+	args := make([]cq.Term, len(v.Def.Head.Args))
+	for i, formal := range v.Def.Head.Args {
+		fv, ok := formal.(cq.Var)
+		if !ok {
+			args[i] = formal
+			continue
+		}
+		img := h.image(fv)
+		if c, isConst := img.(cq.Const); isConst {
+			args[i] = c
+			continue
+		}
+		rep := img.(cq.Var)
+		if qv, ok := inverse[cq.Term(rep)]; ok {
+			args[i] = qv
+			continue
+		}
+		f, ok := freshFor[rep]
+		if !ok {
+			f = gen.Fresh()
+			freshFor[rep] = f
+		}
+		args[i] = f
+	}
+	return &MCD{
+		View:    v,
+		Covered: covered,
+		Phi:     phi,
+		Head:    cq.Atom{Pred: v.Name(), Args: args},
+	}
+}
+
+func inQueue(q []int, x int) bool {
+	for _, y := range q {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func clonePhi(m map[cq.Var]cq.Term) map[cq.Var]cq.Term {
+	out := make(map[cq.Var]cq.Term, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneCovered(m map[int]struct{}) map[int]struct{} {
+	out := make(map[int]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func mcdKey(m *MCD) string {
+	var b strings.Builder
+	b.WriteString(m.Head.String())
+	b.WriteByte('#')
+	for _, i := range m.CoveredSorted() {
+		b.WriteString(fmt.Sprint(i))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Options tunes rewriting generation.
+type Options struct {
+	// EquivalentOnly keeps only combinations whose expansion is equivalent
+	// to the query (the closed-world comparison against CoreCover). When
+	// false, every combination (a contained rewriting) is returned, as in
+	// open-world MiniCon.
+	EquivalentOnly bool
+	// MaxRewritings caps the output (0 = unlimited).
+	MaxRewritings int
+}
+
+// Rewritings runs MiniCon end to end: forms MCDs and combines every
+// family of MCDs whose covered sets exactly partition the query subgoals
+// into a rewriting (duplicate literals removed).
+func Rewritings(q *cq.Query, vs *views.Set, opts Options) []*cq.Query {
+	minQ := containment.Minimize(q)
+	mcds := FormMCDs(minQ, vs)
+	var out []*cq.Query
+	n := len(minQ.Body)
+
+	var chosen []*MCD
+	var rec func(uncovered map[int]struct{}) bool
+	rec = func(uncovered map[int]struct{}) bool {
+		if len(uncovered) == 0 {
+			body := make([]cq.Atom, 0, len(chosen))
+			for _, m := range chosen {
+				body = append(body, m.Head.Clone())
+			}
+			p := &cq.Query{Head: minQ.Head.Clone(), Body: cq.DedupAtoms(body)}
+			if opts.EquivalentOnly && !vs.IsEquivalentRewriting(p, minQ) {
+				return true
+			}
+			out = append(out, p)
+			return opts.MaxRewritings <= 0 || len(out) < opts.MaxRewritings
+		}
+		// Lowest uncovered subgoal.
+		low := -1
+		for i := 0; i < n; i++ {
+			if _, miss := uncovered[i]; miss {
+				low = i
+				break
+			}
+		}
+		for _, m := range mcds {
+			if _, covers := m.Covered[low]; !covers {
+				continue
+			}
+			// MiniCon combination: covered sets must be pairwise disjoint.
+			disjoint := true
+			for c := range m.Covered {
+				if _, miss := uncovered[c]; !miss {
+					disjoint = false
+					break
+				}
+			}
+			if !disjoint {
+				continue
+			}
+			next := cloneCovered(uncovered)
+			for c := range m.Covered {
+				delete(next, c)
+			}
+			chosen = append(chosen, m)
+			more := rec(next)
+			chosen = chosen[:len(chosen)-1]
+			if !more {
+				return false
+			}
+		}
+		return true
+	}
+	all := make(map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		all[i] = struct{}{}
+	}
+	rec(all)
+	return out
+}

@@ -1,0 +1,212 @@
+package minicon
+
+import (
+	"testing"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/corecover"
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+func q(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+func mustViews(t *testing.T, src string) *views.Set {
+	t.Helper()
+	s, err := views.ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFormMCDsChain(t *testing.T) {
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, C), b(C, B).
+		v2(A) :- a(A, C).
+	`)
+	query := q("q(X, Y) :- a(X, Z), b(Z, Y)")
+	mcds := FormMCDs(query, vs)
+	// v1 gives one MCD covering both subgoals (Z is existential in v1);
+	// v2 gives none: covering a(X,Z) via v2 hides Z, whose other subgoal
+	// b(Z,Y) has no b-atom in v2 to map to.
+	var v1MCDs, v2MCDs int
+	for _, m := range mcds {
+		switch m.View.Name() {
+		case "v1":
+			v1MCDs++
+			if len(m.Covered) != 2 {
+				t.Errorf("v1 MCD covers %v, want both subgoals", m.CoveredSorted())
+			}
+		case "v2":
+			v2MCDs++
+		}
+	}
+	if v1MCDs != 1 || v2MCDs != 0 {
+		t.Errorf("MCD counts: v1=%d v2=%d (%v)", v1MCDs, v2MCDs, mcds)
+	}
+}
+
+func TestMCDDistinguishedVarRule(t *testing.T) {
+	// A distinguished query variable may not map to an existential view
+	// variable (MiniCon property C1).
+	vs := mustViews(t, "v(A) :- a(A, C).")
+	query := q("q(X, Z) :- a(X, Z)")
+	mcds := FormMCDs(query, vs)
+	if len(mcds) != 0 {
+		t.Errorf("expected no MCDs, got %v", mcds)
+	}
+}
+
+func TestMCDHeadHomomorphism(t *testing.T) {
+	// Covering a(X, X) with view head vars A, B requires the head
+	// homomorphism to equate A and B.
+	vs := mustViews(t, "v(A, B) :- a(A, B).")
+	query := q("q(X) :- a(X, X)")
+	mcds := FormMCDs(query, vs)
+	if len(mcds) != 1 {
+		t.Fatalf("MCDs = %v", mcds)
+	}
+	head := mcds[0].Head
+	if head.Args[0] != head.Args[1] {
+		t.Errorf("head homomorphism not applied: %s", head)
+	}
+	if head.Args[0] != cq.Var("X") {
+		t.Errorf("head = %s, want v(X, X)", head)
+	}
+}
+
+func TestMCDConstantPin(t *testing.T) {
+	// Covering car(M, a) forces the view's D to the constant a.
+	vs := mustViews(t, "v1(M, D, C) :- car(M, D), loc(D, C).")
+	query := q("q1(C) :- car(M, a), loc(a, C)")
+	mcds := FormMCDs(query, vs)
+	// MCDs are minimal: D is distinguished in v1, so no closure is forced
+	// and each subgoal yields its own MCD — both with D pinned to a.
+	if len(mcds) != 2 {
+		t.Fatalf("MCDs = %v", mcds)
+	}
+	for _, m := range mcds {
+		if len(m.Covered) != 1 {
+			t.Errorf("MCD should be minimal: %v", m)
+		}
+		if m.Head.Args[1] != cq.Const("a") {
+			t.Errorf("D not pinned to a: %s", m.Head)
+		}
+	}
+}
+
+func TestRewritingsChain(t *testing.T) {
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, C), b(C, B).
+	`)
+	query := q("q(X, Y) :- a(X, Z), b(Z, Y)")
+	rws := Rewritings(query, vs, Options{EquivalentOnly: true})
+	if len(rws) != 1 {
+		t.Fatalf("rewritings = %v", rws)
+	}
+	want := q("q(X, Y) :- v1(X, Y)")
+	if !rws[0].EqualModuloBodyOrder(want) {
+		t.Errorf("rewriting = %s", rws[0])
+	}
+}
+
+func TestExample42MiniConVsCoreCover(t *testing.T) {
+	// Example 4.2 (k = 3): CoreCover produces exactly the 1-subgoal GMR;
+	// MiniCon's disjoint MCD combination also enumerates rewritings with
+	// redundant subgoals (mixing the big view with the small ones).
+	viewSrc := `
+		v(X, Y) :- a1(X, Z1), b1(Z1, Y), a2(X, Z2), b2(Z2, Y), a3(X, Z3), b3(Z3, Y).
+		v1(X, Y) :- a1(X, Z1), b1(Z1, Y).
+		v2(X, Y) :- a2(X, Z2), b2(Z2, Y).
+	`
+	vs := mustViews(t, viewSrc)
+	query := q("q(X, Y) :- a1(X, Z1), b1(Z1, Y), a2(X, Z2), b2(Z2, Y), a3(X, Z3), b3(Z3, Y)")
+
+	cc, err := corecover.CoreCover(query, vs, corecover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Rewritings) != 1 || len(cc.Rewritings[0].Body) != 1 {
+		t.Fatalf("CoreCover GMRs = %v", cc.Rewritings)
+	}
+
+	mc := Rewritings(query, vs, Options{EquivalentOnly: true})
+	if len(mc) < 2 {
+		t.Fatalf("MiniCon rewritings = %v", mc)
+	}
+	// MiniCon emits at least one rewriting with redundant subgoals.
+	redundant := 0
+	for _, p := range mc {
+		if len(p.Body) > 1 {
+			redundant++
+		}
+	}
+	if redundant == 0 {
+		t.Errorf("expected redundant-subgoal rewritings, got %v", mc)
+	}
+}
+
+func TestMiniConRewritingsAreContained(t *testing.T) {
+	// Without the equivalence filter every combination must still be a
+	// contained rewriting (its expansion is contained in the query).
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, C), b(C, B).
+		v2(A, B) :- a(A, B).
+		v3(A, B) :- b(A, B).
+	`)
+	query := q("q(X, Y) :- a(X, Z), b(Z, Y)")
+	rws := Rewritings(query, vs, Options{})
+	if len(rws) == 0 {
+		t.Fatal("no rewritings")
+	}
+	for _, p := range rws {
+		exp, err := vs.Expand(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containment.Contains(exp, query) {
+			t.Errorf("%s expands to %s, not contained in query", p, exp)
+		}
+	}
+}
+
+func TestMiniConCarLocPart(t *testing.T) {
+	vs := mustViews(t, `
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+		v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	`)
+	query := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	rws := Rewritings(query, vs, Options{EquivalentOnly: true})
+	if len(rws) == 0 {
+		t.Fatal("no rewritings")
+	}
+	for _, p := range rws {
+		if !vs.IsEquivalentRewriting(p, query) {
+			t.Errorf("%s not equivalent", p)
+		}
+	}
+	// The Section 4.3 critique, observed directly: every view head
+	// variable here is distinguished, so all MCDs are minimal
+	// (single-subgoal) and must combine disjointly — MiniCon only builds
+	// 3-literal rewritings (the P1 shape) and never the compact P2
+	// (2 literals) or P4 (1 literal) that CoreCover returns.
+	for _, p := range rws {
+		if len(p.Body) != 3 {
+			t.Errorf("unexpected rewriting size %d: %s", len(p.Body), p)
+		}
+	}
+}
+
+func TestMaxRewritingsCap(t *testing.T) {
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, C), b(C, B).
+		v2(A, B) :- a(A, C), b(C, B).
+	`)
+	query := q("q(X, Y) :- a(X, Z), b(Z, Y)")
+	rws := Rewritings(query, vs, Options{EquivalentOnly: true, MaxRewritings: 1})
+	if len(rws) != 1 {
+		t.Errorf("cap ignored: %v", rws)
+	}
+}

@@ -1,0 +1,98 @@
+package naive
+
+import (
+	"testing"
+
+	"viewplan/internal/corecover"
+	"viewplan/internal/cq"
+	"viewplan/internal/views"
+)
+
+func q(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+func mustViews(t *testing.T, src string) *views.Set {
+	t.Helper()
+	s, err := views.ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const carLocPartViews = `
+	v1(M, D, C) :- car(M, D), loc(D, C).
+	v2(S, M, C) :- part(S, M, C).
+	v3(S) :- car(M, a), loc(a, C), part(S, M, C).
+	v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	v5(M, D, C) :- car(M, D), loc(D, C).
+`
+
+func TestNaiveMatchesCoreCoverCarLocPart(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	query := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	nv, err := GMRs(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := corecover.CoreCover(query, vs, corecover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nv) == 0 || len(cc.Rewritings) == 0 {
+		t.Fatalf("naive=%v corecover=%v", nv, cc.Rewritings)
+	}
+	if len(nv[0].Body) != len(cc.Rewritings[0].Body) {
+		t.Errorf("GMR sizes differ: naive %d, corecover %d", len(nv[0].Body), len(cc.Rewritings[0].Body))
+	}
+	// The naive search sees both v4 and the equivalent v1/v5 duplicates,
+	// so it can return more size-1 GMRs than CoreCover's representative
+	// set; every one must be a genuine rewriting.
+	for _, p := range nv {
+		if !vs.IsEquivalentRewriting(p, query) {
+			t.Errorf("%s not equivalent", p)
+		}
+	}
+}
+
+func TestNaiveNoRewriting(t *testing.T) {
+	vs := mustViews(t, "v1(M, D, C) :- car(M, D), loc(D, C).")
+	query := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	got, err := GMRs(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected none, got %v", got)
+	}
+}
+
+func TestNaiveExample41(t *testing.T) {
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, B), a(B, B).
+		v2(C, D) :- a(C, E), b(C, D).
+	`)
+	query := q("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+	got, err := GMRs(query, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("GMRs = %v", got)
+	}
+	want := q("q(X, Y) :- v1(X, Z), v2(Z, Y)")
+	if !got[0].EqualModuloBodyOrder(want) {
+		t.Errorf("GMR = %s", got[0])
+	}
+}
+
+func TestNaiveCap(t *testing.T) {
+	vs := mustViews(t, carLocPartViews)
+	query := q("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	got, err := GMRs(query, vs, Options{MaxRewritings: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("cap ignored: %v", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats implements System-R style cardinality estimation
+// [Selinger et al., SIGMOD 1979 — the optimizer lineage the paper's
+// two-step architecture hands rewritings to]. A Catalog holds per-column
+// distinct-value counts collected from materialized relations; the
+// estimator prices M2 physical plans without executing them, so an
+// optimizer can rank join orders and rewritings from statistics alone.
+// The estimated/measured agreement is exercised by the ablation
+// benchmarks in the repository root.
+package stats
+
+import (
+	"fmt"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+)
+
+// ColumnStats describes one column of a relation.
+type ColumnStats struct {
+	// Distinct is the number of distinct values in the column.
+	Distinct int
+}
+
+// RelationStats describes one relation.
+type RelationStats struct {
+	Rows    int
+	Columns []ColumnStats
+}
+
+// Catalog maps relation names to their statistics.
+type Catalog map[string]*RelationStats
+
+// Collect scans every relation of the database and records row counts and
+// per-column distinct counts.
+func Collect(db *engine.Database) Catalog {
+	cat := make(Catalog)
+	for _, name := range db.Names() {
+		rel := db.Relation(name)
+		rs := &RelationStats{Rows: rel.Size(), Columns: make([]ColumnStats, rel.Arity)}
+		for col := 0; col < rel.Arity; col++ {
+			seen := make(map[engine.Value]struct{})
+			for _, row := range rel.Rows() {
+				seen[row[col]] = struct{}{}
+			}
+			rs.Columns[col] = ColumnStats{Distinct: len(seen)}
+		}
+		cat[name] = rs
+	}
+	return cat
+}
+
+// varInfo tracks the running estimate for one bound variable.
+type varInfo struct {
+	distinct float64
+}
+
+// EstimateStep holds the estimated size after one join step.
+type EstimateStep struct {
+	Subgoal  cq.Atom
+	ViewSize int
+	// EstRows is the estimated intermediate-relation size after the step.
+	EstRows float64
+}
+
+// EstimatePlanM2 estimates the M2 cost of executing rewriting p in the
+// given order: Σ (view size + estimated IR size), using the classical
+// uniformity and independence assumptions — an equi-join on a shared
+// variable divides the product of the sizes by the larger distinct count,
+// a constant divides by the column's distinct count, and a repeated
+// variable within an atom divides by a distinct count once per extra
+// occurrence.
+func EstimatePlanM2(cat Catalog, p *cq.Query, order []int) (float64, []EstimateStep, error) {
+	n := len(p.Body)
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		return 0, nil, fmt.Errorf("stats: order has %d entries for %d subgoals", len(order), n)
+	}
+	bound := make(map[cq.Var]*varInfo)
+	rows := 1.0
+	total := 0.0
+	steps := make([]EstimateStep, 0, n)
+	for _, idx := range order {
+		atom := p.Body[idx]
+		rs, ok := cat[atom.Pred]
+		if !ok {
+			return 0, nil, fmt.Errorf("stats: no statistics for relation %q", atom.Pred)
+		}
+		if len(rs.Columns) != atom.Arity() {
+			return 0, nil, fmt.Errorf("stats: %s has %d columns, subgoal %s expects %d",
+				atom.Pred, len(rs.Columns), atom, atom.Arity())
+		}
+		size := rows * float64(rs.Rows)
+		firstPos := make(map[cq.Var]int)
+		for i, arg := range atom.Args {
+			d := float64(max(rs.Columns[i].Distinct, 1))
+			switch a := arg.(type) {
+			case cq.Const:
+				size /= d
+			case cq.Var:
+				if fp, seen := firstPos[a]; seen {
+					_ = fp
+					size /= d // repeated variable inside the atom
+					continue
+				}
+				firstPos[a] = i
+				if info, isBound := bound[a]; isBound {
+					size /= maxf(info.distinct, d)
+				}
+			}
+		}
+		if size < 1 {
+			size = 1
+		}
+		// Update variable statistics: new variables inherit the column
+		// distinct count capped by the new size; joined variables shrink
+		// to the smaller side.
+		for i, arg := range atom.Args {
+			v, isVar := arg.(cq.Var)
+			if !isVar || firstPos[v] != i {
+				continue
+			}
+			d := float64(max(rs.Columns[i].Distinct, 1))
+			if info, isBound := bound[v]; isBound {
+				info.distinct = minf(minf(info.distinct, d), size)
+			} else {
+				bound[v] = &varInfo{distinct: minf(d, size)}
+			}
+		}
+		rows = size
+		total += float64(rs.Rows) + size
+		steps = append(steps, EstimateStep{Subgoal: atom.Clone(), ViewSize: rs.Rows, EstRows: size})
+	}
+	return total, steps, nil
+}
+
+// maxEstimateSubgoals bounds the exhaustive order search.
+const maxEstimateSubgoals = 9
+
+// BestOrderM2 returns the order with the lowest estimated M2 cost and
+// that estimate. Estimation is pure arithmetic, so exhaustive permutation
+// search is affordable for the body sizes this domain has.
+func BestOrderM2(cat Catalog, p *cq.Query) ([]int, float64, error) {
+	n := len(p.Body)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("stats: empty rewriting body")
+	}
+	if n > maxEstimateSubgoals {
+		return nil, 0, fmt.Errorf("stats: %d subgoals exceeds the estimator limit of %d", n, maxEstimateSubgoals)
+	}
+	var best []int
+	bestCost := 0.0
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == 1 {
+			c, _, err := EstimatePlanM2(cat, p, perm)
+			if err != nil {
+				return err
+			}
+			if best == nil || c < bestCost {
+				best = append(best[:0], perm...)
+				bestCost = c
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			if err := rec(k - 1); err != nil {
+				return err
+			}
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+		return nil
+	}
+	if err := rec(n); err != nil {
+		return nil, 0, err
+	}
+	return best, bestCost, nil
+}
+
+// CompareRewritings ranks rewritings by estimated best-order M2 cost,
+// returning indexes from cheapest to most expensive. It is the
+// statistics-only counterpart of running cost.BestPlanM2 on each.
+func CompareRewritings(cat Catalog, rewritings []*cq.Query) ([]int, error) {
+	type scored struct {
+		idx  int
+		cost float64
+	}
+	out := make([]scored, len(rewritings))
+	for i, p := range rewritings {
+		_, c, err := BestOrderM2(cat, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = scored{i, c}
+	}
+	// Insertion sort; rewriting lists are short.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].cost < out[j-1].cost; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	idx := make([]int, len(out))
+	for i, s := range out {
+		idx[i] = s.idx
+	}
+	return idx, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package ucq
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+)
+
+// randomUnion builds a union of 1-3 random conjunctive disjuncts over a
+// small vocabulary.
+func randomUnion(rnd *rand.Rand) *Union {
+	nDisj := 1 + rnd.Intn(3)
+	disjuncts := make([]*cq.Query, 0, nDisj)
+	pool := []cq.Var{"A", "B", "C"}
+	for d := 0; d < nDisj; d++ {
+		nSub := 1 + rnd.Intn(3)
+		body := make([]cq.Atom, nSub)
+		for i := range body {
+			args := make([]cq.Term, 2)
+			for j := range args {
+				if rnd.Intn(6) == 0 {
+					args[j] = cq.Const("k")
+				} else {
+					args[j] = pool[rnd.Intn(len(pool))]
+				}
+			}
+			body[i] = cq.Atom{Pred: "p" + strconv.Itoa(rnd.Intn(2)), Args: args}
+		}
+		q := &cq.Query{Head: cq.Atom{Pred: "q"}, Body: body}
+		vars := q.BodyVars().Sorted()
+		if len(vars) == 0 {
+			q.Head.Args = []cq.Term{cq.Const("k")}
+		} else {
+			q.Head.Args = []cq.Term{vars[0]}
+		}
+		disjuncts = append(disjuncts, q)
+	}
+	u, err := New(disjuncts...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func absSeed(seed int64) int64 {
+	if seed < 0 {
+		return -(seed + 1)
+	}
+	return seed
+}
+
+// Union containment is reflexive and minimization preserves equivalence.
+func TestQuickUnionMinimizeEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(absSeed(seed)))
+		u := randomUnion(rnd)
+		if !Contains(u, u) {
+			return false
+		}
+		m := Minimize(u)
+		return Equivalent(m, u) && m.Len() <= u.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Disjunct-wise containment agrees with evaluation: if u1 ⊑ u2 then on
+// a random database u1's answer is a subset of u2's.
+func TestQuickUnionContainmentSemantic(t *testing.T) {
+	f := func(seed int64) bool {
+		s := absSeed(seed)
+		rnd := rand.New(rand.NewSource(s))
+		u1 := randomUnion(rnd)
+		u2 := randomUnion(rnd)
+		if !Contains(u1, u2) {
+			return true
+		}
+		db := engine.NewDatabase()
+		gen := engine.NewDataGen(s+1, 4)
+		gen.Fill(db, "p0", 2, 15)
+		gen.Fill(db, "p1", 2, 15)
+		db.Insert("p0", engine.Tuple{"k", "k"})
+		db.Insert("p1", engine.Tuple{"k", "k"})
+		a1, err := Evaluate(db, u1)
+		if err != nil {
+			return false
+		}
+		a2, err := Evaluate(db, u2)
+		if err != nil {
+			return false
+		}
+		for _, row := range a1.Rows() {
+			if !a2.Contains(row) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A union always contains each of its disjuncts.
+func TestQuickUnionContainsDisjuncts(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(absSeed(seed)))
+		u := randomUnion(rnd)
+		for _, d := range u.Disjuncts {
+			if !Contains(FromQuery(d), u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Evaluation distributes over disjuncts: the union answer equals the
+// set union of per-disjunct answers.
+func TestQuickUnionEvaluationDistributes(t *testing.T) {
+	f := func(seed int64) bool {
+		s := absSeed(seed)
+		rnd := rand.New(rand.NewSource(s))
+		u := randomUnion(rnd)
+		db := engine.NewDatabase()
+		gen := engine.NewDataGen(s+2, 5)
+		gen.Fill(db, "p0", 2, 20)
+		gen.Fill(db, "p1", 2, 20)
+		whole, err := Evaluate(db, u)
+		if err != nil {
+			return false
+		}
+		merged := engine.NewRelation(u.Name(), u.Disjuncts[0].Head.Arity())
+		for _, d := range u.Disjuncts {
+			rel, err := db.Evaluate(d)
+			if err != nil {
+				return false
+			}
+			for _, row := range rel.Rows() {
+				merged.Insert(row)
+			}
+		}
+		if whole.Size() != merged.Size() {
+			return false
+		}
+		for _, row := range merged.Rows() {
+			if !whole.Contains(row) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

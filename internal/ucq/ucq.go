@@ -1,0 +1,245 @@
+// Package ucq implements unions of conjunctive queries, the second
+// extension the paper's Section 8 discusses: when the query and views
+// have built-in predicates, or when maximally-contained (rather than
+// equivalent) rewritings are wanted, a rewriting is in general a union of
+// conjunctive queries.
+//
+// The package provides UCQ containment and equivalence (the
+// Sagiv–Yannakakis disjunct-wise test, exact for pure conjunctive
+// disjuncts and sound in the presence of comparisons), union
+// minimization, expansion over views, evaluation, cost aggregation under
+// M2, and maximally-contained rewritings built from MiniCon's contained
+// combinations.
+package ucq
+
+import (
+	"fmt"
+	"strings"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cost"
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+	"viewplan/internal/minicon"
+	"viewplan/internal/views"
+)
+
+// Union is a union of conjunctive queries with a common head predicate
+// and arity.
+type Union struct {
+	Disjuncts []*cq.Query
+}
+
+// New builds a union, validating each disjunct and the head signature.
+func New(disjuncts ...*cq.Query) (*Union, error) {
+	if len(disjuncts) == 0 {
+		return nil, fmt.Errorf("ucq: empty union")
+	}
+	head := disjuncts[0].Head
+	for _, d := range disjuncts {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if d.Head.Pred != head.Pred || d.Head.Arity() != head.Arity() {
+			return nil, fmt.Errorf("ucq: disjunct %s does not match head %s/%d",
+				d, head.Pred, head.Arity())
+		}
+	}
+	u := &Union{Disjuncts: make([]*cq.Query, len(disjuncts))}
+	for i, d := range disjuncts {
+		u.Disjuncts[i] = d.Clone()
+	}
+	return u, nil
+}
+
+// Parse parses a Datalog program whose rules all share one head predicate
+// into a union.
+func Parse(src string) (*Union, error) {
+	rules, err := cq.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return New(rules...)
+}
+
+// MustParse is Parse, panicking on error. For tests and examples.
+func MustParse(src string) *Union {
+	u, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// FromQuery wraps a single conjunctive query as a one-disjunct union.
+func FromQuery(q *cq.Query) *Union {
+	return &Union{Disjuncts: []*cq.Query{q.Clone()}}
+}
+
+// Name returns the head predicate.
+func (u *Union) Name() string { return u.Disjuncts[0].Head.Pred }
+
+// Len returns the number of disjuncts.
+func (u *Union) Len() int { return len(u.Disjuncts) }
+
+// String renders the union one rule per line.
+func (u *Union) String() string {
+	parts := make([]string, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Clone returns a deep copy.
+func (u *Union) Clone() *Union {
+	out := &Union{Disjuncts: make([]*cq.Query, len(u.Disjuncts))}
+	for i, d := range u.Disjuncts {
+		out.Disjuncts[i] = d.Clone()
+	}
+	return out
+}
+
+// SubgoalCount returns the total number of view subgoals across
+// disjuncts, the Section 8 discussion's first cost axis ("P2 uses fewer
+// conjunctive queries ... but three view subgoals").
+func (u *Union) SubgoalCount() int {
+	n := 0
+	for _, d := range u.Disjuncts {
+		n += len(d.Body)
+	}
+	return n
+}
+
+// Contains reports u1 ⊑ u2 disjunct-wise (Sagiv–Yannakakis): every
+// disjunct of u1 must be contained in some disjunct of u2. The test is
+// exact for unions of pure conjunctive queries and sound (but not
+// complete) when disjuncts carry comparisons.
+func Contains(u1, u2 *Union) bool {
+	for _, d1 := range u1.Disjuncts {
+		ok := false
+		for _, d2 := range u2.Disjuncts {
+			if containment.Contains(d1, d2) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports containment both ways.
+func Equivalent(u1, u2 *Union) bool {
+	return Contains(u1, u2) && Contains(u2, u1)
+}
+
+// Minimize removes disjuncts contained in other disjuncts and minimizes
+// each survivor, producing an equivalent, irredundant union.
+func Minimize(u *Union) *Union {
+	kept := make([]*cq.Query, 0, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		redundant := false
+		for j, other := range u.Disjuncts {
+			if i == j {
+				continue
+			}
+			// d ⊑ other makes d redundant; break ties toward earlier
+			// disjuncts when the two are equivalent.
+			if containment.Contains(d, other) {
+				if !containment.Contains(other, d) || j < i {
+					redundant = true
+					break
+				}
+			}
+		}
+		if !redundant {
+			kept = append(kept, containment.Minimize(d))
+		}
+	}
+	if len(kept) == 0 {
+		kept = []*cq.Query{containment.Minimize(u.Disjuncts[0])}
+	}
+	return &Union{Disjuncts: kept}
+}
+
+// Expand expands every disjunct over the views (Definition 2.2, lifted to
+// unions).
+func Expand(u *Union, vs *views.Set) (*Union, error) {
+	out := &Union{Disjuncts: make([]*cq.Query, len(u.Disjuncts))}
+	for i, d := range u.Disjuncts {
+		exp, err := vs.Expand(d)
+		if err != nil {
+			return nil, err
+		}
+		out.Disjuncts[i] = exp
+	}
+	return out, nil
+}
+
+// IsContainedRewriting reports whether the union rewriting u computes a
+// subset of q on every database: u's expansion is contained in q.
+func IsContainedRewriting(u *Union, q *cq.Query, vs *views.Set) bool {
+	exp, err := Expand(u, vs)
+	if err != nil {
+		return false
+	}
+	return Contains(exp, FromQuery(q))
+}
+
+// Evaluate computes the union's answer over the database: the set union
+// of the disjuncts' answers.
+func Evaluate(db *engine.Database, u *Union) (*engine.Relation, error) {
+	out := engine.NewRelation(u.Name(), u.Disjuncts[0].Head.Arity())
+	for _, d := range u.Disjuncts {
+		rel, err := db.Evaluate(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rel.Rows() {
+			out.Insert(row)
+		}
+	}
+	return out, nil
+}
+
+// CostM2 sums the best M2 plan cost of each disjunct: the natural lift of
+// the paper's per-plan cost to a union executed disjunct by disjunct.
+func CostM2(db *engine.Database, u *Union) (int, []*cost.Plan, error) {
+	total := 0
+	plans := make([]*cost.Plan, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		plan, err := cost.BestPlanM2(db, d)
+		if err != nil {
+			return 0, nil, err
+		}
+		plans[i] = plan
+		total += plan.Cost
+	}
+	return total, plans, nil
+}
+
+// MaximallyContained builds a maximally-contained union rewriting of q
+// over the views from MiniCon's contained combinations, minimized as a
+// union. For pure conjunctive queries and views this is the
+// maximally-contained rewriting MiniCon guarantees; queries or views with
+// comparisons are rejected (their MCD formation is future work, exactly
+// as in the paper).
+func MaximallyContained(q *cq.Query, vs *views.Set, maxDisjuncts int) (*Union, error) {
+	if q.HasComparisons() {
+		return nil, fmt.Errorf("ucq: query %s has built-in predicates; maximally-contained rewriting supports pure conjunctive queries", q.Name())
+	}
+	for _, v := range vs.Views {
+		if v.Def.HasComparisons() {
+			return nil, fmt.Errorf("ucq: view %s has built-in predicates; maximally-contained rewriting supports pure conjunctive views", v.Name())
+		}
+	}
+	rws := minicon.Rewritings(q, vs, minicon.Options{MaxRewritings: maxDisjuncts})
+	if len(rws) == 0 {
+		return nil, nil
+	}
+	u := &Union{Disjuncts: rws}
+	return Minimize(u), nil
+}

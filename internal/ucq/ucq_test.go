@@ -1,0 +1,285 @@
+package ucq
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+	"viewplan/internal/views"
+)
+
+func q(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+func mustViews(t *testing.T, src string) *views.Set {
+	t.Helper()
+	s, err := views.ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty union accepted")
+	}
+	if _, err := New(q("q(X) :- p(X)"), q("r(X) :- p(X)")); err == nil {
+		t.Error("mismatched heads accepted")
+	}
+	if _, err := New(q("q(X) :- p(X)"), q("q(X, Y) :- p(X), p(Y)")); err == nil {
+		t.Error("mismatched arities accepted")
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	u, err := Parse(`
+		q(X) :- a(X).
+		q(X) :- b(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 || u.Name() != "q" {
+		t.Fatalf("union = %s", u)
+	}
+	if !strings.Contains(u.String(), "a(X)") || !strings.Contains(u.String(), "b(X)") {
+		t.Errorf("String = %q", u.String())
+	}
+	if u.SubgoalCount() != 2 {
+		t.Errorf("SubgoalCount = %d", u.SubgoalCount())
+	}
+}
+
+func TestContainsDisjunctWise(t *testing.T) {
+	u1 := MustParse("q(X) :- a(X), b(X).")
+	u2 := MustParse(`
+		q(X) :- a(X).
+		q(X) :- c(X).
+	`)
+	if !Contains(u1, u2) {
+		t.Error("a∧b should be contained in a ∪ c")
+	}
+	if Contains(u2, u1) {
+		t.Error("a ∪ c is not contained in a∧b")
+	}
+	if !Equivalent(u1, u1.Clone()) {
+		t.Error("clone not equivalent")
+	}
+}
+
+func TestMinimizeUnion(t *testing.T) {
+	u := MustParse(`
+		q(X) :- a(X).
+		q(X) :- a(X), b(X).
+		q(X) :- a(X), a(X).
+	`)
+	m := Minimize(u)
+	// The second disjunct is contained in the first; the third is the
+	// first after minimization.
+	if m.Len() != 1 {
+		t.Fatalf("minimized = %s", m)
+	}
+	if len(m.Disjuncts[0].Body) != 1 {
+		t.Errorf("disjunct not minimized: %s", m.Disjuncts[0])
+	}
+	if !Equivalent(m, u) {
+		t.Error("minimization changed semantics")
+	}
+}
+
+func TestEvaluateUnion(t *testing.T) {
+	db := engine.NewDatabase()
+	if err := db.LoadFacts("a(1). a(2). b(2). b(3)."); err != nil {
+		t.Fatal(err)
+	}
+	u := MustParse(`
+		q(X) :- a(X).
+		q(X) :- b(X).
+	`)
+	rel, err := Evaluate(db, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Size() != 3 {
+		t.Errorf("answer = %v", rel.SortedRows())
+	}
+}
+
+func TestMaximallyContained(t *testing.T) {
+	// Views cover only parts of the query; the maximally-contained union
+	// collects the contained combinations.
+	vs := mustViews(t, `
+		v1(A, B) :- a(A, C), b(C, B).
+		v2(A, B) :- a(A, B).
+		v3(A, B) :- b(A, B).
+	`)
+	query := q("q(X, Y) :- a(X, Z), b(Z, Y)")
+	u, err := MaximallyContained(query, vs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Len() == 0 {
+		t.Fatal("no contained rewriting")
+	}
+	if !IsContainedRewriting(u, query, vs) {
+		t.Error("union not contained in the query")
+	}
+	// The union must subsume the equivalent rewriting via v1 and the
+	// v2⋈v3 combination.
+	exp, err := Expand(u, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Contains(FromQuery(q("q(X, Y) :- a(X, Z), b(Z, Y)")), exp) {
+		t.Errorf("union %s does not recover the full query", u)
+	}
+}
+
+func TestMaximallyContainedRejectsBuiltins(t *testing.T) {
+	vs := mustViews(t, "v(A, B) :- a(A, B), A <= B.")
+	if _, err := MaximallyContained(q("q(X) :- a(X, X)"), vs, 0); err == nil {
+		t.Error("builtin views accepted")
+	}
+}
+
+// TestSection8UnionExample reproduces the paper's closing example: the
+// query q(X,Y,U,W) :- p(X,Y), r(U,W), r(W,U) over views
+// v1(A,B,C,D) :- p(A,B), r(C,D), C <= D and v2(E,F) :- r(E,F). The paper
+// gives two rewritings — P1, a union of two conjunctive queries using
+// only the query's variables, and P2, a single conjunctive query with
+// fresh variables — and asks how to compare them. We verify both compute
+// the query's answer on real databases (the closed-world test; symbolic
+// equivalence needs case analysis over orders, which is exactly why the
+// paper leaves it as future work) and we compare their M2 costs.
+func TestSection8UnionExample(t *testing.T) {
+	vs := mustViews(t, `
+		v1(A, B, C, D) :- p(A, B), r(C, D), C <= D.
+		v2(E, F) :- r(E, F).
+	`)
+	query := q("q(X, Y, U, W) :- p(X, Y), r(U, W), r(W, U)")
+
+	p1 := MustParse(`
+		q(X, Y, U, W) :- v1(X, Y, U, W), v2(W, U).
+		q(X, Y, U, W) :- v1(X, Y, W, U), v2(U, W).
+	`)
+	p2 := MustParse("q(X, Y, U, W) :- v1(X, Y, C, D), v2(U, W), v2(W, U).")
+
+	// P2 uses fewer conjunctive queries but more subgoals (paper text).
+	if p1.Len() != 2 || p2.Len() != 1 {
+		t.Fatalf("lengths: %d, %d", p1.Len(), p2.Len())
+	}
+	if p2.SubgoalCount() != 3 || p1.SubgoalCount() != 4 {
+		t.Fatalf("subgoals: %d, %d", p1.SubgoalCount(), p2.SubgoalCount())
+	}
+
+	// Both are contained rewritings, provably (each disjunct's expansion
+	// has a homomorphism from the query whose comparisons are implied).
+	if !IsContainedRewriting(p1, query, vs) {
+		t.Error("P1 not provably contained")
+	}
+	if !IsContainedRewriting(p2, query, vs) {
+		t.Error("P2 not provably contained")
+	}
+
+	// Equivalence on real databases: several seeds, symmetric r pairs
+	// included so the answer is nonempty.
+	for seed := 0; seed < 3; seed++ {
+		db := engine.NewDatabase()
+		var b strings.Builder
+		for i := 0; i < 6; i++ {
+			b.WriteString("p(x" + strconv.Itoa(i) + ", y" + strconv.Itoa((i+seed)%4) + "). ")
+		}
+		for i := 0; i < 5; i++ {
+			u := strconv.Itoa((i * (seed + 2)) % 7)
+			w := strconv.Itoa((i + seed) % 7)
+			b.WriteString("r(" + u + ", " + w + "). ")
+			if i%2 == 0 {
+				b.WriteString("r(" + w + ", " + u + "). ") // symmetric pair
+			}
+		}
+		if err := db.LoadFacts(b.String()); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.MaterializeViews(vs); err != nil {
+			t.Fatal(err)
+		}
+		base, err := db.Evaluate(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Size() == 0 {
+			t.Fatalf("seed %d: empty base answer, test data too weak", seed)
+		}
+		for name, u := range map[string]*Union{"P1": p1, "P2": p2} {
+			got, err := Evaluate(db, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Size() != base.Size() {
+				t.Errorf("seed %d: %s has %d rows, want %d", seed, name, got.Size(), base.Size())
+				continue
+			}
+			for _, row := range base.Rows() {
+				if !got.Contains(row) {
+					t.Errorf("seed %d: %s missing %v", seed, name, row)
+				}
+			}
+		}
+		// Cost comparison is data-dependent — the paper's point: fewer
+		// conjunctive queries does not imply cheaper evaluation.
+		c1, _, err := CostM2(db, p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, _, err := CostM2(db, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 <= 0 || c2 <= 0 {
+			t.Errorf("seed %d: degenerate costs %d, %d", seed, c1, c2)
+		}
+	}
+}
+
+func TestEngineComparisonFiltering(t *testing.T) {
+	db := engine.NewDatabase()
+	if err := db.LoadFacts("r(1, 2). r(2, 1). r(3, 3)."); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.Evaluate(q("s(X, Y) :- r(X, Y), X <= Y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Size() != 2 || !rel.Contains(engine.Tuple{"1", "2"}) || !rel.Contains(engine.Tuple{"3", "3"}) {
+		t.Errorf("answer = %v", rel.SortedRows())
+	}
+}
+
+func TestViewWithComparisonMaterializes(t *testing.T) {
+	vs := mustViews(t, "v1(A, B, C, D) :- p(A, B), r(C, D), C <= D.")
+	db := engine.NewDatabase()
+	if err := db.LoadFacts("p(a, b). r(1, 2). r(2, 1)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeViews(vs); err != nil {
+		t.Fatal(err)
+	}
+	v1 := db.Relation("v1")
+	if v1.Size() != 1 || !v1.Contains(engine.Tuple{"a", "b", "1", "2"}) {
+		t.Errorf("v1 = %v", v1.SortedRows())
+	}
+}
+
+func TestExpansionCarriesComparisons(t *testing.T) {
+	vs := mustViews(t, "v1(A, B, C, D) :- p(A, B), r(C, D), C <= D.")
+	p := q("q(X, Y, U, W) :- v1(X, Y, U, W)")
+	exp, err := vs.Expand(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Comparisons) != 1 || exp.Comparisons[0].Left != cq.Var("U") {
+		t.Errorf("expansion comparisons = %v", exp.Comparisons)
+	}
+}

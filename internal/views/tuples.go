@@ -1,0 +1,91 @@
+package views
+
+import (
+	"fmt"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cq"
+)
+
+// Tuple is a view tuple of a query Q given views V (Section 3.3): the
+// result of applying a view definition to the canonical database of Q,
+// with the frozen constants restored to Q's variables. Its Atom therefore
+// uses only variables of Q and constants.
+//
+// Example (car-loc-part): applying v1(M,D,C) :- car(M,D), loc(D,C) to the
+// canonical database of the query yields the view tuple v1(M, a, C).
+type Tuple struct {
+	// View is the view this tuple comes from.
+	View *View
+	// Atom is the view-tuple literal, e.g. v1(M, a, C).
+	Atom cq.Atom
+}
+
+// String renders the view-tuple literal.
+func (t Tuple) String() string { return t.Atom.String() }
+
+// Expansion returns the expansion of the view tuple: the view's body with
+// distinguished variables bound to the tuple's arguments and existential
+// variables replaced by fresh variables drawn from gen. The returned
+// existentials slice lists the fresh variables introduced, in a
+// deterministic order.
+func (t Tuple) Expansion(gen *cq.FreshGen) (body []cq.Atom, existentials []cq.Var, err error) {
+	bind := cq.NewSubst()
+	for i, formal := range t.View.Def.Head.Args {
+		fv, ok := formal.(cq.Var)
+		if !ok {
+			if formal != t.Atom.Args[i] {
+				return nil, nil, fmt.Errorf("views: tuple %s conflicts with constant %s in head of %s",
+					t.Atom, formal, t.View.Name())
+			}
+			continue
+		}
+		if !bind.Bind(fv, t.Atom.Args[i]) {
+			return nil, nil, fmt.Errorf("views: tuple %s repeats head variable %s of %s with conflicting arguments",
+				t.Atom, fv, t.View.Name())
+		}
+	}
+	exVars := t.View.Def.ExistentialVars().Sorted()
+	for _, ev := range exVars {
+		fresh := gen.Fresh()
+		bind[ev] = fresh
+		existentials = append(existentials, fresh)
+	}
+	return bind.Atoms(t.View.Def.Body), existentials, nil
+}
+
+// ComputeTuples computes T(Q, V): for each view, every result tuple of the
+// view over Q's canonical database, thawed back to Q's variables, with
+// exact duplicates removed per view (Section 3.3). The query should
+// already be minimized; callers that start from a raw query minimize
+// first (CoreCover step 1).
+func ComputeTuples(q *cq.Query, s *Set) []Tuple {
+	db := containment.FreezeQuery(q)
+	var out []Tuple
+	for _, v := range s.Views {
+		for _, frozen := range db.Evaluate(v.Def) {
+			thawed := db.ThawAtom(frozen)
+			dup := false
+			for _, prev := range out {
+				if prev.View == v && prev.Atom.Equal(thawed) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, Tuple{View: v, Atom: thawed})
+			}
+		}
+	}
+	return out
+}
+
+// TuplesAsQuery builds a rewriting candidate from view tuples: the head of
+// q with the tuples' atoms as body.
+func TuplesAsQuery(q *cq.Query, tuples []Tuple) *cq.Query {
+	body := make([]cq.Atom, len(tuples))
+	for i, t := range tuples {
+		body[i] = t.Atom.Clone()
+	}
+	return &cq.Query{Head: q.Head.Clone(), Body: body}
+}

@@ -1,0 +1,238 @@
+// Package views implements materialized view definitions and the
+// view-tuple machinery of Section 3.3 of the paper: expanding rewritings,
+// testing the equivalent-rewriting property under the closed-world
+// assumption, computing the view tuples T(Q, V) via the canonical
+// database, and grouping views into equivalence classes for the concise
+// representation of Section 5.2.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cq"
+)
+
+// View is a named conjunctive view over the base relations. Its definition
+// must be safe and its head predicate is the view's name.
+type View struct {
+	Def *cq.Query
+}
+
+// Name returns the view's head predicate.
+func (v *View) Name() string { return v.Def.Name() }
+
+// Arity returns the view head's arity.
+func (v *View) Arity() int { return v.Def.Head.Arity() }
+
+// String renders the view definition.
+func (v *View) String() string { return v.Def.String() }
+
+// Set is an ordered collection of views with unique names.
+type Set struct {
+	Views  []*View
+	byName map[string]*View
+}
+
+// NewSet builds a view set from definitions, validating each and rejecting
+// duplicate names.
+func NewSet(defs ...*cq.Query) (*Set, error) {
+	s := &Set{byName: make(map[string]*View, len(defs))}
+	for _, d := range defs {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("views: invalid view %s: %w", d.Name(), err)
+		}
+		if _, dup := s.byName[d.Name()]; dup {
+			return nil, fmt.Errorf("views: duplicate view name %q", d.Name())
+		}
+		v := &View{Def: d.Clone()}
+		s.Views = append(s.Views, v)
+		s.byName[v.Name()] = v
+	}
+	return s, nil
+}
+
+// MustNewSet is NewSet, panicking on error. For tests and examples.
+func MustNewSet(defs ...*cq.Query) *Set {
+	s, err := NewSet(defs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseSet parses a Datalog program in which every rule is one view
+// definition.
+func ParseSet(src string) (*Set, error) {
+	defs, err := cq.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewSet(defs...)
+}
+
+// ByName returns the view with the given name, or nil.
+func (s *Set) ByName(name string) *View { return s.byName[name] }
+
+// Len returns the number of views.
+func (s *Set) Len() int { return len(s.Views) }
+
+// Names returns the view names in set order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.Views))
+	for i, v := range s.Views {
+		out[i] = v.Name()
+	}
+	return out
+}
+
+// Subset returns a new Set containing only the named views, in the given
+// order.
+func (s *Set) Subset(names []string) (*Set, error) {
+	defs := make([]*cq.Query, 0, len(names))
+	for _, n := range names {
+		v := s.ByName(n)
+		if v == nil {
+			return nil, fmt.Errorf("views: unknown view %q", n)
+		}
+		defs = append(defs, v.Def)
+	}
+	return NewSet(defs...)
+}
+
+// Expand computes the expansion P^exp of a rewriting P: every view subgoal
+// is replaced by the view's body with distinguished variables bound to the
+// subgoal's arguments and existential variables replaced by fresh
+// variables (Definition 2.2). Subgoals whose predicate is not a view name
+// are passed through unchanged, so partially rewritten queries expand too.
+func (s *Set) Expand(p *cq.Query) (*cq.Query, error) {
+	gen := cq.NewFreshGen("_X", p.Vars())
+	var body []cq.Atom
+	var comps []cq.Comparison
+	comps = append(comps, p.Comparisons...)
+	for _, sub := range p.Body {
+		v := s.ByName(sub.Pred)
+		if v == nil {
+			body = append(body, sub.Clone())
+			continue
+		}
+		if len(sub.Args) != v.Arity() {
+			return nil, fmt.Errorf("views: subgoal %s has arity %d, view %s has arity %d",
+				sub, len(sub.Args), v.Name(), v.Arity())
+		}
+		bind := cq.NewSubst()
+		for i, formal := range v.Def.Head.Args {
+			fv, ok := formal.(cq.Var)
+			if !ok {
+				// Constant in a view head: the subgoal argument must match.
+				if formal != sub.Args[i] {
+					return nil, fmt.Errorf("views: subgoal %s conflicts with constant %s in head of %s",
+						sub, formal, v.Name())
+				}
+				continue
+			}
+			if !bind.Bind(fv, sub.Args[i]) {
+				// Repeated head variable with conflicting arguments: the
+				// subgoal is unsatisfiable against this view head. Treat as
+				// an error; callers construct subgoals from view heads so
+				// this indicates a malformed rewriting.
+				return nil, fmt.Errorf("views: subgoal %s repeats head variable %s of %s with conflicting arguments",
+					sub, fv, v.Name())
+			}
+		}
+		for ev := range v.Def.ExistentialVars() {
+			bind[ev] = gen.Fresh()
+		}
+		body = append(body, bind.Atoms(v.Def.Body)...)
+		comps = append(comps, bind.Comparisons(v.Def.Comparisons)...)
+	}
+	exp := &cq.Query{Head: p.Head.Clone(), Body: body, Comparisons: comps}
+	return exp, nil
+}
+
+// IsEquivalentRewriting reports whether p is an equivalent rewriting of q
+// using this view set (Definition 2.3): p uses only view predicates and
+// p^exp ≡ q.
+func (s *Set) IsEquivalentRewriting(p, q *cq.Query) bool {
+	for _, sub := range p.Body {
+		if s.ByName(sub.Pred) == nil {
+			return false
+		}
+	}
+	exp, err := s.Expand(p)
+	if err != nil {
+		return false
+	}
+	return containment.Equivalent(exp, q)
+}
+
+// EquivalenceClasses groups the views into classes of queries equivalent
+// as view definitions (Section 5.2). Each class lists member views; the
+// first member is the representative.
+//
+// Grouping is linear in the number of views: each definition is
+// minimized (its core computed) and keyed by the canonical form of the
+// minimized body. Two minimal conjunctive queries are equivalent exactly
+// when they are isomorphic — cores are unique up to variable renaming —
+// so equal keys are a sound and complete equivalence test; no pairwise
+// containment checks are needed.
+func (s *Set) EquivalenceClasses() [][]*View {
+	byKey := make(map[string]int)
+	var classes [][]*View
+	for _, v := range s.Views {
+		// View names differ even when definitions coincide (v1 and v5 in
+		// the paper), so equivalence is judged on the definition with the
+		// head predicate name erased.
+		k := cq.CanonicalKey(containment.Minimize(anonymizeHead(v.Def)))
+		if ci, ok := byKey[k]; ok {
+			classes[ci] = append(classes[ci], v)
+			continue
+		}
+		byKey[k] = len(classes)
+		classes = append(classes, []*View{v})
+	}
+	return classes
+}
+
+// anonymizeHead returns a copy of def whose head predicate is replaced by
+// a fixed placeholder, so views with different names can be compared as
+// queries.
+func anonymizeHead(def *cq.Query) *cq.Query {
+	c := def.Clone()
+	c.Head.Pred = "_viewdef"
+	return c
+}
+
+// Representatives returns one view per equivalence class, preserving set
+// order of the class representatives.
+func (s *Set) Representatives() *Set {
+	classes := s.EquivalenceClasses()
+	names := make([]string, len(classes))
+	for i, c := range classes {
+		names[i] = c[0].Name()
+	}
+	sub, err := s.Subset(names)
+	if err != nil {
+		// Cannot happen: representatives come from this set.
+		panic(err)
+	}
+	return sub
+}
+
+// BasePreds returns the sorted set of base predicates mentioned by any
+// view definition.
+func (s *Set) BasePreds() []string {
+	set := make(map[string]struct{})
+	for _, v := range s.Views {
+		for p := range v.Def.Preds() {
+			set[p] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,128 @@
+package viewplan
+
+import (
+	"fmt"
+
+	"viewplan/internal/corecover"
+	"viewplan/internal/cost"
+)
+
+// PlanRequest configures the one-shot planner: which cost model to
+// optimize for and how much of the search space to explore. The zero
+// value plans under M2 with filter selection enabled.
+type PlanRequest struct {
+	// Model selects M1, M2 or M3 (default M2).
+	Model CostModel
+	// Strategy selects the M3 drop rule (default RenamingHeuristic).
+	Strategy DropStrategy
+	// DisableFilters skips the Section 5.1 filter-augmentation pass
+	// under M2.
+	DisableFilters bool
+	// MaxRewritings caps the rewritings considered (0 = all minimal
+	// rewritings from CoreCover*).
+	MaxRewritings int
+}
+
+// PlanResult is the planner's answer: the chosen rewriting with its
+// physical plan, and what was explored along the way.
+type PlanResult struct {
+	// Rewriting is the chosen logical plan (possibly extended with
+	// filtering view literals under M2).
+	Rewriting *Query
+	// Plan is its physical plan with measured sizes; nil under M1, where
+	// the cost is purely the subgoal count.
+	Plan *Plan
+	// Cost is the plan cost (the subgoal count under M1).
+	Cost int
+	// Considered counts the candidate rewritings examined.
+	Considered int
+	// FiltersAdded lists filter literals appended under M2.
+	FiltersAdded []Atom
+}
+
+// PlanQuery runs the paper's full two-step architecture in one call:
+// the rewriting generator (CoreCover for M1, CoreCover* for M2/M3)
+// produces the cost model's guaranteed search space, and the optimizer
+// picks the cheapest physical plan across it — join order via the
+// subset-lattice search, filter views under M2, attribute-drop
+// annotations under M3. Views must already be materialized in db for
+// M2/M3 (M1 needs no data). It returns nil when q has no equivalent
+// rewriting over vs.
+func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResult, error) {
+	if req.Model == 0 {
+		req.Model = M2
+	}
+	opts := corecover.Options{MaxRewritings: req.MaxRewritings}
+
+	if req.Model == M1 {
+		res, err := corecover.CoreCover(q, vs, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Rewritings) == 0 {
+			return nil, nil
+		}
+		p := res.Rewritings[0]
+		return &PlanResult{
+			Rewriting:  p,
+			Cost:       cost.M1Cost(p),
+			Considered: len(res.Rewritings),
+		}, nil
+	}
+
+	if db == nil {
+		return nil, fmt.Errorf("viewplan: cost model %s needs a database with materialized views", req.Model)
+	}
+	res, err := corecover.CoreCoverStar(q, vs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rewritings) == 0 {
+		return nil, nil
+	}
+
+	var best *PlanResult
+	for _, p := range res.Rewritings {
+		var plan *cost.Plan
+		switch req.Model {
+		case M2:
+			plan, err = cost.BestPlanM2(db, p)
+		case M3:
+			strategy := req.Strategy
+			if strategy != SupplementaryRelations {
+				strategy = RenamingHeuristic
+			}
+			plan, err = cost.BestPlanM3(db, p, strategy, q, vs)
+		default:
+			return nil, fmt.Errorf("viewplan: unknown cost model %v", req.Model)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || plan.Cost < best.Cost {
+			best = &PlanResult{Rewriting: p.Clone(), Plan: plan, Cost: plan.Cost}
+		}
+	}
+	best.Considered = len(res.Rewritings)
+
+	// Filter augmentation (Section 5.1) applies under M2 only.
+	if req.Model == M2 && !req.DisableFilters {
+		var candidates []ViewTuple
+		for _, fc := range res.FilterClasses() {
+			candidates = append(candidates, fc.Members...)
+		}
+		if len(candidates) > 0 {
+			fr, err := cost.ImproveWithFilters(db, best.Rewriting, q, vs, candidates)
+			if err != nil {
+				return nil, err
+			}
+			if fr.Plan.Cost < best.Cost {
+				best.Rewriting = fr.Rewriting
+				best.Plan = fr.Plan
+				best.Cost = fr.Plan.Cost
+				best.FiltersAdded = fr.Added
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,139 @@
+package viewplan_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"viewplan"
+)
+
+func plannerFixture(t *testing.T) (*viewplan.Database, *viewplan.Query, *viewplan.ViewSet) {
+	t.Helper()
+	vs, err := viewplan.ParseViews(`
+		v1(M, D, C) :- car(M, D), loc(D, C).
+		v2(S, M, C) :- part(S, M, C).
+		v3(S) :- car(M, a), loc(a, C), part(S, M, C).
+		v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := viewplan.MustParseQuery("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	db := viewplan.NewDatabase()
+	var facts strings.Builder
+	for i := 0; i < 10; i++ {
+		facts.WriteString("car(m" + strconv.Itoa(i) + ", a). loc(a, c" + strconv.Itoa(i) + "). ")
+	}
+	facts.WriteString("part(s0, m0, c0). ")
+	for i := 1; i < 60; i++ {
+		facts.WriteString("part(sx" + strconv.Itoa(i) + ", zz, yy). ")
+	}
+	if err := db.LoadFacts(facts.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeViews(vs); err != nil {
+		t.Fatal(err)
+	}
+	return db, q, vs
+}
+
+func TestPlanQueryM1(t *testing.T) {
+	_, q, vs := plannerFixture(t)
+	res, err := viewplan.PlanQuery(nil, q, vs, viewplan.PlanRequest{Model: viewplan.M1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Cost != 1 || res.Rewriting.Body[0].Pred != "v4" {
+		t.Errorf("M1 result = %+v", res)
+	}
+	if res.Plan != nil {
+		t.Error("M1 should not build a physical plan")
+	}
+}
+
+func TestPlanQueryM2PicksCheapest(t *testing.T) {
+	db, q, vs := plannerFixture(t)
+	res, err := viewplan.PlanQuery(db, q, vs, viewplan.PlanRequest{Model: viewplan.M2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Plan == nil {
+		t.Fatal("no plan")
+	}
+	// v4 holds exactly the answer (1 row), so the v4 rewriting wins.
+	if res.Rewriting.Body[0].Pred != "v4" {
+		t.Errorf("chosen = %s (cost %d)", res.Rewriting, res.Cost)
+	}
+	if res.Considered != 2 {
+		t.Errorf("considered = %d, want 2 (CoreCover* rewritings)", res.Considered)
+	}
+}
+
+func TestPlanQueryM2FiltersApply(t *testing.T) {
+	db, q, vs := plannerFixture(t)
+	// Remove v4 so the v1⋈v2 rewriting must win, and the selective v3
+	// filter should be added.
+	vs2, err := vs.Subset([]string{"v1", "v2", "v3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := viewplan.PlanQuery(db, q, vs2, viewplan.PlanRequest{Model: viewplan.M2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no plan")
+	}
+	if len(res.FiltersAdded) != 1 || res.FiltersAdded[0].Pred != "v3" {
+		t.Errorf("filters = %v (cost %d)", res.FiltersAdded, res.Cost)
+	}
+	noFilters, err := viewplan.PlanQuery(db, q, vs2, viewplan.PlanRequest{Model: viewplan.M2, DisableFilters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noFilters.Cost <= res.Cost {
+		t.Errorf("filters did not help: %d vs %d", res.Cost, noFilters.Cost)
+	}
+}
+
+func TestPlanQueryM3(t *testing.T) {
+	db, q, vs := plannerFixture(t)
+	res, err := viewplan.PlanQuery(db, q, vs, viewplan.PlanRequest{Model: viewplan.M3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Plan == nil || res.Plan.Model != viewplan.M3 {
+		t.Fatalf("M3 result = %+v", res)
+	}
+	// M3 plans never cost more than the M2 plan of the same rewriting.
+	m2, err := viewplan.PlanQuery(db, q, vs, viewplan.PlanRequest{Model: viewplan.M2, DisableFilters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > m2.Cost {
+		t.Errorf("M3 cost %d exceeds M2 cost %d", res.Cost, m2.Cost)
+	}
+}
+
+func TestPlanQueryNoRewriting(t *testing.T) {
+	vs, err := viewplan.ParseViews("v1(M, D, C) :- car(M, D), loc(D, C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := viewplan.MustParseQuery("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+	res, err := viewplan.PlanQuery(nil, q, vs, viewplan.PlanRequest{Model: viewplan.M1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Errorf("expected nil result, got %+v", res)
+	}
+}
+
+func TestPlanQueryM2NeedsDatabase(t *testing.T) {
+	_, q, vs := plannerFixture(t)
+	if _, err := viewplan.PlanQuery(nil, q, vs, viewplan.PlanRequest{Model: viewplan.M2}); err == nil {
+		t.Error("M2 without a database accepted")
+	}
+}

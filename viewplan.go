@@ -1,0 +1,230 @@
+// Package viewplan generates efficient, equivalent rewritings of
+// conjunctive queries using materialized views, under the closed-world
+// assumption. It is a Go implementation of Afrati, Li & Ullman,
+// "Generating Efficient Plans for Queries Using Views" (SIGMOD 2001):
+// the CoreCover algorithm for globally-minimal rewritings (cost model
+// M1), the CoreCover* search space for size-based costs (M2), and the
+// attribute-dropping renaming heuristic (M3), together with an in-memory
+// relational engine that materializes views and measures plan costs on
+// real data.
+//
+// # Quick start
+//
+//	q := viewplan.MustParseQuery("q(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+//	vs, _ := viewplan.ParseViews(`
+//	    v1(M, D, C) :- car(M, D), loc(D, C).
+//	    v2(S, M, C) :- part(S, M, C).
+//	`)
+//	res, _ := viewplan.FindGMRs(q, vs)
+//	for _, p := range res.Rewritings {
+//	    fmt.Println(p) // q(S, C) :- v1(M, a, C), v2(S, M, C)
+//	}
+//
+// The packages under internal/ hold the implementation: cq (conjunctive
+// queries), containment (Chandra–Merlin machinery), views (expansions and
+// view tuples), corecover (the paper's core), engine (execution), cost
+// (M1/M2/M3 optimizers), minicon/bucket/naive (baselines), workload and
+// experiments (the Section 7 evaluation).
+package viewplan
+
+import (
+	"viewplan/internal/containment"
+	"viewplan/internal/corecover"
+	"viewplan/internal/cost"
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+	"viewplan/internal/stats"
+	"viewplan/internal/ucq"
+	"viewplan/internal/views"
+)
+
+// Core logical types, re-exported for API users.
+type (
+	// Query is a conjunctive query h(X̄) :- g1(X̄1), ..., gk(X̄k).
+	Query = cq.Query
+	// Atom is a predicate applied to terms.
+	Atom = cq.Atom
+	// Term is a variable or constant.
+	Term = cq.Term
+	// Var is a query variable (upper-case initial).
+	Var = cq.Var
+	// Const is a constant symbol (lower-case initial or quoted).
+	Const = cq.Const
+	// Subst is a mapping from variables to terms (also used for
+	// containment-mapping witnesses).
+	Subst = cq.Subst
+	// View is a named materialized view definition.
+	View = views.View
+	// ViewSet is a collection of views with unique names.
+	ViewSet = views.Set
+	// ViewTuple is a view tuple of a query given views (Section 3.3).
+	ViewTuple = views.Tuple
+	// Result is the output of FindGMRs / FindMinimalRewritings.
+	Result = corecover.Result
+	// Options tunes the CoreCover algorithms.
+	Options = corecover.Options
+	// TupleCore is the set of query subgoals a view tuple covers.
+	TupleCore = corecover.TupleCore
+	// Database is the in-memory relational store.
+	Database = engine.Database
+	// Relation is a named relation with set semantics.
+	Relation = engine.Relation
+	// Tuple is one relation row.
+	Tuple = engine.Tuple
+	// Plan is a simulated physical plan with measured sizes and cost.
+	Plan = cost.Plan
+	// CostModel identifies M1, M2 or M3.
+	CostModel = cost.Model
+	// DropStrategy selects the M3 attribute-dropping rule.
+	DropStrategy = cost.DropStrategy
+	// FilterResult reports the Section 5.1 filter-selection outcome.
+	FilterResult = cost.FilterResult
+)
+
+// Cost models and drop strategies.
+const (
+	M1 = cost.M1
+	M2 = cost.M2
+	M3 = cost.M3
+	// SupplementaryRelations is the classical drop rule.
+	SupplementaryRelations = cost.SupplementaryRelations
+	// RenamingHeuristic is the paper's Section 6.2 drop rule.
+	RenamingHeuristic = cost.RenamingHeuristic
+)
+
+// ParseQuery parses one conjunctive query in Datalog syntax, e.g.
+// "q(X, Y) :- a(X, Z), b(Z, Y).".
+func ParseQuery(src string) (*Query, error) { return cq.ParseQuery(src) }
+
+// MustParseQuery is ParseQuery, panicking on error.
+func MustParseQuery(src string) *Query { return cq.MustParseQuery(src) }
+
+// ParseViews parses a program of view definitions (one rule per view).
+func ParseViews(src string) (*ViewSet, error) { return views.ParseSet(src) }
+
+// NewViews builds a view set from parsed definitions.
+func NewViews(defs ...*Query) (*ViewSet, error) { return views.NewSet(defs...) }
+
+// FindGMRs runs CoreCover (Section 4): it returns all globally-minimal
+// rewritings of q using the views — the optimal rewritings under cost
+// model M1. Result.Rewritings is empty when q has no equivalent
+// rewriting.
+func FindGMRs(q *Query, vs *ViewSet) (*Result, error) {
+	return corecover.CoreCover(q, vs, Options{})
+}
+
+// FindGMRsWith is FindGMRs with explicit options (grouping ablations,
+// caps).
+func FindGMRsWith(q *Query, vs *ViewSet, opts Options) (*Result, error) {
+	return corecover.CoreCover(q, vs, opts)
+}
+
+// FindMinimalRewritings runs CoreCover* (Section 5): all minimal
+// rewritings of q that use view tuples — the search space guaranteed to
+// contain an optimal rewriting under cost model M2. Empty-core view
+// tuples usable as filters are in Result.FilterClasses().
+func FindMinimalRewritings(q *Query, vs *ViewSet) (*Result, error) {
+	return corecover.CoreCoverStar(q, vs, Options{})
+}
+
+// FindMinimalRewritingsWith is FindMinimalRewritings with options.
+func FindMinimalRewritingsWith(q *Query, vs *ViewSet, opts Options) (*Result, error) {
+	return corecover.CoreCoverStar(q, vs, opts)
+}
+
+// HasRewriting reports whether q has any equivalent rewriting over vs.
+func HasRewriting(q *Query, vs *ViewSet) (bool, error) {
+	return corecover.HasRewriting(q, vs)
+}
+
+// Expand computes the expansion P^exp of a rewriting (Definition 2.2).
+func Expand(p *Query, vs *ViewSet) (*Query, error) { return vs.Expand(p) }
+
+// IsEquivalentRewriting reports whether p is an equivalent rewriting of q
+// using vs (Definition 2.3).
+func IsEquivalentRewriting(p, q *Query, vs *ViewSet) bool {
+	return vs.IsEquivalentRewriting(p, q)
+}
+
+// Contains reports q1 ⊑ q2 (Chandra–Merlin containment).
+func Contains(q1, q2 *Query) bool { return containment.Contains(q1, q2) }
+
+// Equivalent reports q1 ≡ q2.
+func Equivalent(q1, q2 *Query) bool { return containment.Equivalent(q1, q2) }
+
+// Minimize returns the minimal equivalent (core) of q.
+func Minimize(q *Query) *Query { return containment.Minimize(q) }
+
+// ViewTuples computes T(Q, V), the view tuples of q given the views
+// (Section 3.3).
+func ViewTuples(q *Query, vs *ViewSet) []ViewTuple {
+	return views.ComputeTuples(containment.Minimize(q), vs)
+}
+
+// NewDatabase creates an empty in-memory database. Load base facts with
+// Database.LoadFacts and materialize views with Database.MaterializeViews.
+func NewDatabase() *Database { return engine.NewDatabase() }
+
+// M1Cost is the cost of a rewriting under model M1 (number of subgoals).
+func M1Cost(p *Query) int { return cost.M1Cost(p) }
+
+// BestPlanM2 finds a minimum-cost M2 physical plan for rewriting p over
+// db (views must be materialized). See cost model M2, Section 5.
+func BestPlanM2(db *Database, p *Query) (*Plan, error) { return cost.BestPlanM2(db, p) }
+
+// BestPlanM3 finds a minimum-cost M3 physical plan under the given drop
+// strategy. For the RenamingHeuristic, q and vs supply the original query
+// and views for the Section 6.2 equivalence tests.
+func BestPlanM3(db *Database, p *Query, strategy DropStrategy, q *Query, vs *ViewSet) (*Plan, error) {
+	return cost.BestPlanM3(db, p, strategy, q, vs)
+}
+
+// ImproveWithFilters greedily adds filtering view literals to a rewriting
+// when they lower its best M2 cost (Section 5.1).
+func ImproveWithFilters(db *Database, p, q *Query, vs *ViewSet, candidates []ViewTuple) (*FilterResult, error) {
+	return cost.ImproveWithFilters(db, p, q, vs, candidates)
+}
+
+// Union is a union of conjunctive queries — the rewriting form needed for
+// built-in predicates and maximally-contained rewritings (Section 8).
+type Union = ucq.Union
+
+// ParseUnion parses a Datalog program whose rules share one head
+// predicate into a union of conjunctive queries.
+func ParseUnion(src string) (*Union, error) { return ucq.Parse(src) }
+
+// UnionContains reports u1 ⊑ u2 with the disjunct-wise Sagiv–Yannakakis
+// test (exact for pure conjunctive disjuncts, sound with comparisons).
+func UnionContains(u1, u2 *Union) bool { return ucq.Contains(u1, u2) }
+
+// UnionEquivalent reports containment both ways.
+func UnionEquivalent(u1, u2 *Union) bool { return ucq.Equivalent(u1, u2) }
+
+// MinimizeUnion removes redundant disjuncts and minimizes each survivor.
+func MinimizeUnion(u *Union) *Union { return ucq.Minimize(u) }
+
+// EvaluateUnion computes the union's answer over the database.
+func EvaluateUnion(db *Database, u *Union) (*Relation, error) { return ucq.Evaluate(db, u) }
+
+// UnionCostM2 sums the best M2 plan cost over the union's disjuncts.
+func UnionCostM2(db *Database, u *Union) (int, []*Plan, error) { return ucq.CostM2(db, u) }
+
+// MaximallyContained builds a maximally-contained union rewriting of q
+// over the views (Section 8; via MiniCon's contained combinations). It
+// returns nil when no contained rewriting exists.
+func MaximallyContained(q *Query, vs *ViewSet, maxDisjuncts int) (*Union, error) {
+	return ucq.MaximallyContained(q, vs, maxDisjuncts)
+}
+
+// Catalog holds System-R style statistics (row counts, per-column
+// distinct counts) for estimating plan costs without execution.
+type Catalog = stats.Catalog
+
+// CollectStats scans the database's relations into a Catalog.
+func CollectStats(db *Database) Catalog { return stats.Collect(db) }
+
+// EstimateBestOrderM2 returns the join order with the lowest estimated
+// M2 cost for the rewriting, plus the estimate, from statistics alone.
+func EstimateBestOrderM2(cat Catalog, p *Query) ([]int, float64, error) {
+	return stats.BestOrderM2(cat, p)
+}
