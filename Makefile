@@ -1,0 +1,22 @@
+# viewplan build targets. `make check` is the fast pre-commit gate
+# (vet + race-enabled obs/corecover tests); `make test` is the full
+# suite; `make bench` runs the paper's table/figure benchmarks.
+
+GO ?= go
+
+.PHONY: build test check bench vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

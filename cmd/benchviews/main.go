@@ -34,15 +34,16 @@ func main() {
 		nogroup = flag.Bool("nogroup", false, "ablation: disable view and view-tuple equivalence-class grouping")
 		subg    = flag.Int("subgoals", 0, "query subgoals (default: the paper's 8)")
 		par     = flag.Int("parallel", 1, "queries run concurrently per point (1 = sequential, matching the paper's protocol)")
+		metrics = flag.String("metrics", "", "write per-run planner metrics (counters, phase times) as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par); err != nil {
+	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "benchviews:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel int) error {
+func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel int, metricsFile string) error {
 	var figures []experiments.Figure
 	if fig == "all" {
 		figures = experiments.AllFigures()
@@ -67,6 +68,7 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 		nondist int
 	}
 	cache := make(map[key][]experiments.Point)
+	var report []experiments.FigureMetrics
 	for _, f := range figures {
 		cfg, err := experiments.ConfigFor(f)
 		if err != nil {
@@ -83,6 +85,7 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 		}
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
+		cfg.Trace = metricsFile != ""
 		if nogroup {
 			cfg.Options = corecover.Options{DisableViewGrouping: true, DisableTupleGrouping: true}
 		}
@@ -99,6 +102,29 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 		}
 		experiments.Render(os.Stdout, f, pts)
 		fmt.Println()
+		if metricsFile != "" {
+			report = append(report, experiments.FigureMetrics{
+				Figure:           f,
+				Shape:            cfg.Shape.String(),
+				Nondistinguished: cfg.Nondistinguished,
+				QueriesPerPoint:  cfg.QueriesPerPoint,
+				Points:           pts,
+			})
+		}
+	}
+	if metricsFile != "" {
+		out, err := os.Create(metricsFile)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteMetrics(out, report); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsFile)
 	}
 	return nil
 }

@@ -13,10 +13,13 @@
 // Usage:
 //
 //	corecover [-star] [-algo corecover|minicon|bucket|naive] [-verbose]
-//	          [-data facts.dl] [-model M1|M2|M3] file.dl
+//	          [-trace] [-explain] [-data facts.dl] [-model M1|M2|M3] file.dl
 //
 // With -data, the base facts are loaded, views are materialized, and each
-// rewriting is costed under the chosen model.
+// rewriting is costed under the chosen model. With -trace, a per-phase
+// time and work-counter breakdown of the planning run is printed. With
+// -explain, each rewriting is annotated with the query subgoals every
+// view literal covers (and, with -data, the chosen plan's step tree).
 package main
 
 import (
@@ -36,23 +39,36 @@ import (
 	"viewplan/internal/views"
 )
 
+// config collects the command-line options run needs.
+type config struct {
+	star    bool   // CoreCover* instead of CoreCover
+	algo    string // corecover, minicon, bucket, naive
+	verbose bool   // print tuples, cores, equivalence classes
+	trace   bool   // print the phase/counter breakdown
+	explain bool   // annotate rewritings with their covers
+	data    string // fact file enabling cost-based plans
+	model   string // M1, M2, M3
+	maxRW   int    // rewriting cap (0 = all)
+}
+
 func main() {
-	var (
-		star    = flag.Bool("star", false, "run CoreCover* (all minimal rewritings using view tuples) instead of CoreCover (GMRs only)")
-		algo    = flag.String("algo", "corecover", "rewriting algorithm: corecover, minicon, bucket, or naive")
-		verbose = flag.Bool("verbose", false, "print view tuples, tuple-cores, and equivalence classes")
-		data    = flag.String("data", "", "file of ground facts; enables cost-based plan output")
-		model   = flag.String("model", "M2", "cost model for -data plans: M1, M2, or M3")
-		maxRW   = flag.Int("max", 0, "cap the number of rewritings (0 = all)")
-	)
+	var cfg config
+	flag.BoolVar(&cfg.star, "star", false, "run CoreCover* (all minimal rewritings using view tuples) instead of CoreCover (GMRs only)")
+	flag.StringVar(&cfg.algo, "algo", "corecover", "rewriting algorithm: corecover, minicon, bucket, or naive")
+	flag.BoolVar(&cfg.verbose, "verbose", false, "print view tuples, tuple-cores, and equivalence classes")
+	flag.BoolVar(&cfg.trace, "trace", false, "print the per-phase time and counter breakdown of the planning run")
+	flag.BoolVar(&cfg.explain, "explain", false, "annotate each rewriting with the query subgoals its view literals cover")
+	flag.StringVar(&cfg.data, "data", "", "file of ground facts; enables cost-based plan output")
+	flag.StringVar(&cfg.model, "model", "M2", "cost model for -data plans: M1, M2, or M3")
+	flag.IntVar(&cfg.maxRW, "max", 0, "cap the number of rewritings (0 = all)")
 	flag.Parse()
-	if err := run(os.Stdout, *star, *algo, *verbose, *data, *model, *maxRW, flag.Args()); err != nil {
+	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "corecover:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, star bool, algo string, verbose bool, dataFile, model string, maxRW int, args []string) error {
+func run(w io.Writer, cfg config, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: corecover [flags] file.dl (see -h)")
 	}
@@ -75,12 +91,17 @@ func run(w io.Writer, star bool, algo string, verbose bool, dataFile, model stri
 	fmt.Fprintf(w, "query: %s\n", q)
 	fmt.Fprintf(w, "views: %d\n", vs.Len())
 
+	var tracer *viewplan.Tracer
+	if cfg.trace {
+		tracer = viewplan.NewTracer()
+	}
+
 	var rewritings []*cq.Query
-	switch algo {
+	var res *corecover.Result
+	switch cfg.algo {
 	case "corecover":
-		opts := corecover.Options{MaxRewritings: maxRW}
-		var res *corecover.Result
-		if star {
+		opts := corecover.Options{MaxRewritings: cfg.maxRW, Tracer: tracer}
+		if cfg.star {
 			res, err = corecover.CoreCoverStar(q, vs, opts)
 		} else {
 			res, err = corecover.CoreCover(q, vs, opts)
@@ -89,38 +110,59 @@ func run(w io.Writer, star bool, algo string, verbose bool, dataFile, model stri
 			return err
 		}
 		rewritings = res.Rewritings
-		if verbose {
+		if cfg.verbose {
 			printDetails(w, res)
 		}
 	case "minicon":
-		rewritings = minicon.Rewritings(q, vs, minicon.Options{EquivalentOnly: true, MaxRewritings: maxRW})
+		rewritings = minicon.Rewritings(q, vs, minicon.Options{EquivalentOnly: true, MaxRewritings: cfg.maxRW})
 	case "bucket":
-		rewritings, err = bucket.Rewritings(q, vs, bucket.Options{MaxRewritings: maxRW})
+		rewritings, err = bucket.Rewritings(q, vs, bucket.Options{MaxRewritings: cfg.maxRW})
 		if err != nil {
 			return err
 		}
 	case "naive":
-		rewritings, err = naive.GMRs(q, vs, naive.Options{MaxRewritings: maxRW})
+		rewritings, err = naive.GMRs(q, vs, naive.Options{MaxRewritings: cfg.maxRW})
 		if err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q", cfg.algo)
+	}
+	if cfg.trace && cfg.algo != "corecover" {
+		return fmt.Errorf("-trace instruments the corecover algorithm only (got -algo %s)", cfg.algo)
+	}
+	if cfg.explain && res == nil {
+		return fmt.Errorf("-explain needs the corecover algorithm (got -algo %s)", cfg.algo)
 	}
 
 	if len(rewritings) == 0 {
 		fmt.Fprintln(w, "no equivalent rewriting exists")
+		printTrace(w, tracer)
 		return nil
 	}
 	fmt.Fprintf(w, "rewritings (%d):\n", len(rewritings))
 	for _, p := range rewritings {
 		fmt.Fprintf(w, "  %s   [M1 cost %d]\n", p, cost.M1Cost(p))
 	}
-
-	if dataFile == "" {
-		return nil
+	if cfg.explain {
+		printExplain(w, res)
 	}
-	return costPlans(w, q, vs, rewritings, dataFile, model)
+
+	if cfg.data != "" {
+		if err := costPlans(w, q, vs, rewritings, cfg, tracer); err != nil {
+			return err
+		}
+	}
+	printTrace(w, tracer)
+	return nil
+}
+
+// printTrace renders the tracer snapshot (phase breakdown + counters).
+func printTrace(w io.Writer, tracer *viewplan.Tracer) {
+	if tracer == nil {
+		return
+	}
+	fmt.Fprint(w, tracer.Snapshot().Text())
 }
 
 func printDetails(w io.Writer, res *corecover.Result) {
@@ -148,8 +190,50 @@ func printDetails(w io.Writer, res *corecover.Result) {
 	}
 }
 
-func costPlans(w io.Writer, q *cq.Query, vs *views.Set, rewritings []*cq.Query, dataFile, model string) error {
-	facts, err := os.ReadFile(dataFile)
+// printExplain renders each rewriting as an annotated tree: every view
+// literal with the tuple-core subgoals of the minimized query it covers
+// and the view it comes from.
+func printExplain(w io.Writer, res *corecover.Result) {
+	fmt.Fprintf(w, "explain (minimized query: %s):\n", res.MinimalQuery)
+	for i, p := range res.Rewritings {
+		fmt.Fprintf(w, "  %s\n", p)
+		if i >= len(res.Covers) {
+			continue
+		}
+		cover := res.Covers[i]
+		for j, ci := range cover {
+			branch := "├─"
+			if j == len(cover)-1 {
+				branch = "└─"
+			}
+			var lit string
+			if j < len(p.Body) {
+				lit = p.Body[j].String()
+			}
+			class := res.Classes[ci]
+			fmt.Fprintf(w, "    %s %s  covers %s (%s)  [view %s]\n",
+				branch, lit, class.Core.Covered, coveredAtoms(res, class.Core.Covered), class.Core.Tuple.View.Def)
+		}
+	}
+}
+
+// coveredAtoms lists the minimized-query subgoals in s, comma separated.
+func coveredAtoms(res *corecover.Result, s corecover.SubgoalSet) string {
+	out := ""
+	for i, idx := range s.Elements() {
+		if i > 0 {
+			out += ", "
+		}
+		out += res.MinimalQuery.Body[idx].String()
+	}
+	if out == "" {
+		out = "nothing"
+	}
+	return out
+}
+
+func costPlans(w io.Writer, q *cq.Query, vs *views.Set, rewritings []*cq.Query, cfg config, tracer *viewplan.Tracer) error {
+	facts, err := os.ReadFile(cfg.data)
 	if err != nil {
 		return err
 	}
@@ -160,7 +244,8 @@ func costPlans(w io.Writer, q *cq.Query, vs *views.Set, rewritings []*cq.Query, 
 	if err := db.MaterializeViews(vs); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "plans over %s (model %s):\n", dataFile, model)
+	db.SetTracer(tracer)
+	fmt.Fprintf(w, "plans over %s (model %s):\n", cfg.data, cfg.model)
 	type costed struct {
 		p    *cq.Query
 		plan *cost.Plan
@@ -168,7 +253,7 @@ func costPlans(w io.Writer, q *cq.Query, vs *views.Set, rewritings []*cq.Query, 
 	var best *costed
 	for _, p := range rewritings {
 		var plan *cost.Plan
-		switch model {
+		switch cfg.model {
 		case "M1":
 			fmt.Fprintf(w, "  %s: cost %d\n", p, cost.M1Cost(p))
 			continue
@@ -177,7 +262,7 @@ func costPlans(w io.Writer, q *cq.Query, vs *views.Set, rewritings []*cq.Query, 
 		case "M3":
 			plan, err = cost.BestPlanM3(db, p, cost.RenamingHeuristic, q, vs)
 		default:
-			return fmt.Errorf("unknown model %q", model)
+			return fmt.Errorf("unknown model %q", cfg.model)
 		}
 		if err != nil {
 			return err
@@ -189,6 +274,21 @@ func costPlans(w io.Writer, q *cq.Query, vs *views.Set, rewritings []*cq.Query, 
 	}
 	if best != nil {
 		fmt.Fprintf(w, "best: %s (cost %d)\n", best.p, best.plan.Cost)
+		if cfg.explain {
+			fmt.Fprintf(w, "%s\n", indent(best.plan.Tree(), "  "))
+		}
 	}
 	return nil
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	out := prefix
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += prefix
+		}
+	}
+	return out
 }

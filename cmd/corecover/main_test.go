@@ -35,7 +35,7 @@ func writeTemp(t *testing.T, name, content string) string {
 func TestRunCoreCover(t *testing.T) {
 	in := writeTemp(t, "q.dl", inputDL)
 	var out bytes.Buffer
-	if err := run(&out, false, "corecover", true, "", "M2", 0, []string{in}); err != nil {
+	if err := run(&out, config{algo: "corecover", verbose: true, model: "M2"}, []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -54,7 +54,7 @@ func TestRunCoreCover(t *testing.T) {
 func TestRunStar(t *testing.T) {
 	in := writeTemp(t, "q.dl", inputDL)
 	var out bytes.Buffer
-	if err := run(&out, true, "corecover", false, "", "M2", 0, []string{in}); err != nil {
+	if err := run(&out, config{star: true, algo: "corecover", model: "M2"}, []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "rewritings (2):") {
@@ -67,7 +67,7 @@ func TestRunWithData(t *testing.T) {
 	data := writeTemp(t, "facts.dl", factsDL)
 	for _, model := range []string{"M1", "M2", "M3"} {
 		var out bytes.Buffer
-		if err := run(&out, true, "corecover", false, data, model, 0, []string{in}); err != nil {
+		if err := run(&out, config{star: true, algo: "corecover", data: data, model: model}, []string{in}); err != nil {
 			t.Fatalf("model %s: %v", model, err)
 		}
 		if !strings.Contains(out.String(), "plans over") {
@@ -83,7 +83,7 @@ func TestRunBaselines(t *testing.T) {
 	in := writeTemp(t, "q.dl", inputDL)
 	for _, algo := range []string{"minicon", "bucket", "naive"} {
 		var out bytes.Buffer
-		if err := run(&out, false, algo, false, "", "M2", 0, []string{in}); err != nil {
+		if err := run(&out, config{algo: algo, model: "M2"}, []string{in}); err != nil {
 			t.Fatalf("algo %s: %v", algo, err)
 		}
 		if !strings.Contains(out.String(), "rewritings") {
@@ -95,32 +95,125 @@ func TestRunBaselines(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	in := writeTemp(t, "q.dl", inputDL)
 	var out bytes.Buffer
-	if err := run(&out, false, "nope", false, "", "M2", 0, []string{in}); err == nil {
+	if err := run(&out, config{algo: "nope", model: "M2"}, []string{in}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(&out, false, "corecover", false, "", "M2", 0, nil); err == nil {
+	if err := run(&out, config{algo: "corecover", model: "M2"}, nil); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(&out, false, "corecover", false, "", "M2", 0, []string{"/does/not/exist.dl"}); err == nil {
+	if err := run(&out, config{algo: "corecover", model: "M2"}, []string{"/does/not/exist.dl"}); err == nil {
 		t.Error("unreadable file accepted")
 	}
 	onlyQuery := writeTemp(t, "only.dl", "q(X) :- p(X).")
-	if err := run(&out, false, "corecover", false, "", "M2", 0, []string{onlyQuery}); err == nil {
+	if err := run(&out, config{algo: "corecover", model: "M2"}, []string{onlyQuery}); err == nil {
 		t.Error("input without views accepted")
 	}
 	data := writeTemp(t, "facts.dl", factsDL)
-	if err := run(&out, false, "corecover", false, data, "M9", 0, []string{in}); err == nil {
+	if err := run(&out, config{algo: "corecover", data: data, model: "M9"}, []string{in}); err == nil {
 		t.Error("unknown model accepted")
+	}
+	if err := run(&out, config{algo: "minicon", trace: true, model: "M2"}, []string{in}); err == nil {
+		t.Error("-trace with a non-corecover algorithm accepted")
+	}
+	if err := run(&out, config{algo: "minicon", explain: true, model: "M2"}, []string{in}); err == nil {
+		t.Error("-explain with a non-corecover algorithm accepted")
 	}
 }
 
 func TestRunMaxCap(t *testing.T) {
 	in := writeTemp(t, "q.dl", inputDL)
 	var out bytes.Buffer
-	if err := run(&out, true, "corecover", false, "", "M2", 1, []string{in}); err != nil {
+	if err := run(&out, config{star: true, algo: "corecover", model: "M2", maxRW: 1}, []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "rewritings (1):") {
 		t.Errorf("cap ignored:\n%s", out.String())
+	}
+}
+
+// TestRunTrace is the golden check for -trace: on the car/loc/part
+// example the phase breakdown must list minimize, view tuples, tuple
+// cores, and cover search in pipeline order, and the work counters for
+// those phases must be nonzero.
+func TestRunTrace(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	var out bytes.Buffer
+	if err := run(&out, config{algo: "corecover", model: "M2", trace: true}, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+
+	// Phases appear in pipeline order.
+	phases := []string{"corecover", "minimize", "view-tuples", "tuple-cores", "cover-search"}
+	pos := -1
+	for _, ph := range phases {
+		i := strings.Index(s, ph)
+		if i < 0 {
+			t.Fatalf("trace output missing phase %q:\n%s", ph, s)
+		}
+		if i < pos {
+			t.Errorf("phase %q out of order:\n%s", ph, s)
+		}
+		pos = i
+	}
+
+	// Work counters are nonzero.
+	for _, ctr := range []string{"view_tuples", "tuple_cores", "cover_nodes", "rewritings"} {
+		found := false
+		for _, line := range strings.Split(s, "\n") {
+			f := strings.Fields(line)
+			if len(f) == 2 && f[0] == ctr {
+				found = true
+				if f[1] == "0" {
+					t.Errorf("counter %s is zero:\n%s", ctr, s)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("trace output missing counter %s:\n%s", ctr, s)
+		}
+	}
+}
+
+// TestRunExplain checks the -explain annotation: each view literal of a
+// rewriting is shown with the minimized-query subgoals it covers.
+func TestRunExplain(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	var out bytes.Buffer
+	if err := run(&out, config{star: true, algo: "corecover", model: "M2", explain: true}, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"explain (minimized query:",
+		"covers",
+		"[view",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunExplainWithData checks that -explain together with -data prints
+// the best plan's annotated step tree.
+func TestRunExplainWithData(t *testing.T) {
+	in := writeTemp(t, "q.dl", inputDL)
+	data := writeTemp(t, "facts.dl", factsDL)
+	var out bytes.Buffer
+	cfg := config{star: true, algo: "corecover", data: data, model: "M2", explain: true, trace: true}
+	if err := run(&out, cfg, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"best:",
+		"plan, cost",
+		"|view|=",
+		"m2-optimizer", // the optimizer phase shows up in the trace
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain+data output missing %q:\n%s", want, s)
+		}
 	}
 }

@@ -16,6 +16,7 @@ package containment
 
 import (
 	"viewplan/internal/cq"
+	"viewplan/internal/obs"
 )
 
 // Homs enumerates homomorphisms of the atom list src into the atom list
@@ -28,7 +29,11 @@ import (
 // target atoms) and indexes the target by predicate, which keeps the
 // exponential worst case far away for the query sizes this library works
 // with.
+// Every search counts into obs.Global (CtrHomSearches, and CtrHomsFound
+// per homomorphism yielded); tracers attribute the work to a run by
+// sampling the global counters around it.
 func Homs(src, target []cq.Atom, init cq.Subst, yield func(cq.Subst) bool) {
+	obs.Global.Add(obs.CtrHomSearches, 1)
 	idx := indexByPred(target)
 	order := planOrder(src, idx)
 	s := cq.NewSubst()
@@ -38,6 +43,7 @@ func Homs(src, target []cq.Atom, init cq.Subst, yield func(cq.Subst) bool) {
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(order) {
+			obs.Global.Add(obs.CtrHomsFound, 1)
 			return yield(s.Clone())
 		}
 		a := order[i]

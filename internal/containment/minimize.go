@@ -9,8 +9,8 @@ import (
 // The result is a fresh query; q is not modified.
 //
 // Correctness rests on the classical fact that a non-minimal conjunctive
-// query always has a single redundant subgoal: if q ≡ q” for some proper
-// sub-body q”, then the witnessing endomorphism h: q → q” misses at
+// query always has a single redundant subgoal: if q ≡ q′ for some proper
+// sub-body q′, then the witnessing endomorphism h: q → q′ misses at
 // least one subgoal a, and q minus {a} is still equivalent to q (the
 // identity gives q ⊑ q−{a}; h gives q−{a} ⊑ q). So iterated single-subgoal
 // removal reaches the core.

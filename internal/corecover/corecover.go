@@ -6,6 +6,7 @@ import (
 
 	"viewplan/internal/containment"
 	"viewplan/internal/cq"
+	"viewplan/internal/obs"
 	"viewplan/internal/views"
 )
 
@@ -24,6 +25,11 @@ type Options struct {
 	// rewriting. Theorem 4.1 guarantees the check passes; it is kept on by
 	// default as an internal consistency assertion and costs little.
 	SkipVerification bool
+	// Tracer, when non-nil, records per-phase wall times and work
+	// counters for the run, and the Result carries their snapshot in
+	// PlanningStats. The nil default is a no-op: the hot path pays only
+	// a pointer check.
+	Tracer *obs.Tracer
 }
 
 // TupleClass groups view tuples with the same tuple-core (the concise
@@ -60,6 +66,12 @@ type Result struct {
 	// Covers records, for each rewriting, the indexes into Classes whose
 	// representatives form its body.
 	Covers [][]int
+	// PlanningStats is the observability snapshot of the run — phase
+	// durations and work counters — when Options.Tracer was set (the
+	// public viewplan entry points always set one); nil otherwise. When
+	// the caller reuses one tracer across runs, the snapshot covers
+	// everything recorded so far.
+	PlanningStats *obs.Snapshot
 }
 
 // GMRSize returns the number of subgoals of the globally-minimal
@@ -99,13 +111,18 @@ func (r *Result) FilterClasses() []TupleClass {
 // It returns a Result whose Rewritings field holds one rewriting per
 // minimum cover (empty if q has no equivalent rewriting over the views).
 func CoreCover(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
+	finish := beginRun(opts.Tracer)
 	r, cs, err := prepare(q, vs, opts)
 	if err != nil {
+		finish(nil)
 		return nil, err
 	}
 	ver := r.newVerifier(vs, opts)
-	covers := cs.MinimumCovers(opts.MaxRewritings, ver.accept())
-	r.collect(covers, ver)
+	covers := cs.MinimumCovers(opts.MaxRewritings, ver.accept(opts.Tracer))
+	sp := opts.Tracer.Start(obs.PhaseAssemble)
+	r.collect(covers, ver, opts.Tracer)
+	sp.End()
+	finish(r)
 	return r, nil
 }
 
@@ -115,14 +132,42 @@ func CoreCover(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
 // from Result.FilterClasses). Every irredundant cover of the query
 // subgoals by tuple-cores yields one rewriting.
 func CoreCoverStar(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
+	finish := beginRun(opts.Tracer)
 	r, cs, err := prepare(q, vs, opts)
 	if err != nil {
+		finish(nil)
 		return nil, err
 	}
 	ver := r.newVerifier(vs, opts)
-	covers := cs.IrredundantCovers(opts.MaxRewritings, ver.accept())
-	r.collect(covers, ver)
+	covers := cs.IrredundantCovers(opts.MaxRewritings, ver.accept(opts.Tracer))
+	sp := opts.Tracer.Start(obs.PhaseAssemble)
+	r.collect(covers, ver, opts.Tracer)
+	sp.End()
+	finish(r)
 	return r, nil
+}
+
+// noopFinish is beginRun's closer for untraced runs, shared so the nil
+// path allocates nothing.
+var noopFinish = func(*Result) {}
+
+// beginRun opens the run-level span and global-counter sampling window
+// for a traced run and returns the closer that seals both and attaches
+// the snapshot to the result. With a nil tracer everything is a no-op.
+func beginRun(tr *obs.Tracer) func(*Result) {
+	if tr == nil {
+		return noopFinish
+	}
+	base := obs.Global.Values()
+	root := tr.Start(obs.PhaseCoreCover)
+	return func(r *Result) {
+		tr.AbsorbGlobal(base)
+		root.End()
+		if r != nil {
+			tr.Add(obs.CtrRewritings, int64(len(r.Rewritings)))
+			r.PlanningStats = tr.Snapshot()
+		}
+	}
 }
 
 func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, error) {
@@ -137,7 +182,10 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 			return nil, nil, fmt.Errorf("corecover: view %s uses built-in predicates; CoreCover handles pure conjunctive views (see package ucq for the Section 8 extension)", v.Name())
 		}
 	}
+	tr := opts.Tracer
+	sp := tr.Start(obs.PhaseMinimize)
 	minQ := containment.Minimize(q)
+	sp.End()
 	if len(minQ.Body) > MaxSubgoals {
 		return nil, nil, fmt.Errorf("corecover: query has %d subgoals after minimization; the limit is %d",
 			len(minQ.Body), MaxSubgoals)
@@ -151,19 +199,24 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 			classes[i] = []*views.View{v}
 		}
 	} else {
+		sp = tr.Start(obs.PhaseViewGrouping)
 		classes = vs.EquivalenceClasses()
 		names := make([]string, len(classes))
 		for i, c := range classes {
 			names[i] = c[0].Name()
 		}
 		sub, err := vs.Subset(names)
+		sp.End()
 		if err != nil {
 			return nil, nil, err
 		}
 		work = sub
 	}
 
+	sp = tr.Start(obs.PhaseViewTuples)
 	tuples := views.ComputeTuples(minQ, work)
+	sp.End()
+	tr.Add(obs.CtrViewTuples, int64(len(tuples)))
 	cc := newCoreComputer(minQ)
 
 	r := &Result{
@@ -173,11 +226,18 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 		Tuples:       tuples,
 	}
 
+	sp = tr.Start(obs.PhaseTupleCores)
+	var cores, empties int64
 	byCore := make(map[SubgoalSet]int)
 	for _, vt := range tuples {
 		core, err := cc.Compute(vt)
 		if err != nil {
+			sp.End()
 			return nil, nil, err
+		}
+		cores++
+		if core.IsEmpty() {
+			empties++
 		}
 		if opts.DisableTupleGrouping {
 			r.Classes = append(r.Classes, TupleClass{Core: core, Members: []views.Tuple{vt}})
@@ -192,8 +252,11 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 		}
 		r.Classes = append(r.Classes, TupleClass{Core: core, Members: []views.Tuple{vt}})
 	}
+	sp.End()
+	tr.Add(obs.CtrTupleCores, cores)
+	tr.Add(obs.CtrEmptyCores, empties)
 
-	cs := &coverSearch{universe: Universe(len(minQ.Body))}
+	cs := &coverSearch{universe: Universe(len(minQ.Body)), tracer: tr}
 	cs.sets = make([]SubgoalSet, len(r.Classes))
 	for i, c := range r.Classes {
 		cs.sets[i] = c.Core.Covered // empty cores never help the cover
@@ -228,12 +291,12 @@ func (r *Result) newVerifier(vs *views.Set, opts Options) *verifier {
 
 // accept returns the callback handed to the cover search, or nil when
 // verification is disabled.
-func (v *verifier) accept() func([]int) bool {
+func (v *verifier) accept(tr *obs.Tracer) func([]int) bool {
 	if v.opts.SkipVerification {
 		return nil
 	}
 	return func(cover []int) bool {
-		_, ok := v.verify(cover)
+		_, ok := v.verify(tr, cover)
 		return ok
 	}
 }
@@ -242,11 +305,18 @@ func (v *verifier) accept() func([]int) bool {
 // cover when the representative combination fails verification.
 const memberFallbackLimit = 64
 
-func (v *verifier) verify(cover []int) (*cq.Query, bool) {
+// verify checks one cover, building and caching its rewriting. tr is a
+// parameter rather than read from v.opts: the span handle leaks to the
+// tracer, and Go's escape analysis is field-insensitive, so a leaking
+// pointer loaded from v would force v's cache map to the heap at every
+// call site — two extra allocations per run even with tracing off.
+func (v *verifier) verify(tr *obs.Tracer, cover []int) (*cq.Query, bool) {
 	key := coverKey(cover)
 	if p, done := v.ok[key]; done {
 		return p, p != nil
 	}
+	sp := tr.Start(obs.PhaseVerify)
+	tr.Add(obs.CtrVerifyChecks, 1)
 	check := func(tuples []views.Tuple) *cq.Query {
 		p := views.TuplesAsQuery(v.r.MinimalQuery, tuples)
 		if v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery) {
@@ -260,6 +330,8 @@ func (v *verifier) verify(cover []int) (*cq.Query, bool) {
 	}
 	if p := check(reps); p != nil {
 		v.ok[key] = p
+		tr.Add(obs.CtrVerifyAccepted, 1)
+		sp.End()
 		return p, true
 	}
 	// Representative combination failed: try other members (bounded).
@@ -284,11 +356,16 @@ func (v *verifier) verify(cover []int) (*cq.Query, bool) {
 	}
 	p := rec(0)
 	v.ok[key] = p
+	if p != nil {
+		tr.Add(obs.CtrVerifyAccepted, 1)
+	}
+	sp.End()
 	return p, p != nil
 }
 
-// collect turns accepted covers into the Result's rewriting list.
-func (r *Result) collect(covers [][]int, ver *verifier) {
+// collect turns accepted covers into the Result's rewriting list. tr is
+// a parameter for the same escape reason as on verify.
+func (r *Result) collect(covers [][]int, ver *verifier, tr *obs.Tracer) {
 	for _, cover := range covers {
 		sort.Ints(cover)
 		var p *cq.Query
@@ -300,7 +377,7 @@ func (r *Result) collect(covers [][]int, ver *verifier) {
 			p = views.TuplesAsQuery(r.MinimalQuery, tuples)
 		} else {
 			var ok bool
-			p, ok = ver.verify(cover)
+			p, ok = ver.verify(tr, cover)
 			if !ok {
 				continue
 			}

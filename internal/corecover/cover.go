@@ -1,12 +1,36 @@
 package corecover
 
-import "sort"
+import (
+	"sort"
+
+	"viewplan/internal/obs"
+)
 
 // coverSearch enumerates covers of a universe by a family of sets.
 // Sets are given once; the search deduplicates covers (as index sets).
 type coverSearch struct {
 	universe SubgoalSet
 	sets     []SubgoalSet
+	// tracer receives the search span and node/prune counters; nil is a
+	// no-op. The recursions count into the plain st fields and publish
+	// once per search, keeping atomics off the per-node path. The tallies
+	// live on the struct (not in locals) so the counting adds no heap
+	// escapes to the recursions, which already capture cs.
+	tracer *obs.Tracer
+	st     searchStats
+}
+
+// searchStats are the per-search work tallies published to the tracer.
+type searchStats struct {
+	nodes, pruned, found int64
+}
+
+// publish flushes the current tallies to the tracer and resets them.
+func (cs *coverSearch) publish() {
+	cs.tracer.Add(obs.CtrCoverNodes, cs.st.nodes)
+	cs.tracer.Add(obs.CtrCoverPruned, cs.st.pruned)
+	cs.tracer.Add(obs.CtrCoversFound, cs.st.found)
+	cs.st = searchStats{}
 }
 
 // MinimumCovers returns every minimum-cardinality cover of the universe
@@ -16,6 +40,9 @@ type coverSearch struct {
 // side condition); passing nil accepts everything. It returns nil if no
 // acceptable cover exists. maxCovers > 0 caps the number returned.
 func (cs *coverSearch) MinimumCovers(maxCovers int, accept func([]int) bool) [][]int {
+	sp := cs.tracer.Start(obs.PhaseCoverSearch)
+	defer sp.End()
+	defer cs.publish()
 	if cs.universe.IsEmpty() {
 		return [][]int{{}}
 	}
@@ -29,6 +56,7 @@ func (cs *coverSearch) MinimumCovers(maxCovers int, accept func([]int) bool) [][
 	}
 	for k := 1; k <= maxSize; k++ {
 		covers := cs.coversOfSize(k, 0)
+		cs.st.found += int64(len(covers))
 		if accept != nil {
 			covers = filterCovers(covers, accept)
 		}
@@ -63,7 +91,8 @@ func (cs *coverSearch) coverable() bool {
 
 // coversOfSize enumerates all covers using exactly k sets (no set chosen
 // twice; subsets enumerated in increasing index order so each cover
-// appears once). Simple suffix-union pruning bounds the search.
+// appears once). Simple suffix-union pruning bounds the search. cs.st
+// tallies nodes expanded and branches pruned.
 func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 	n := len(cs.sets)
 	// suffixUnion[i] = union of sets[i:].
@@ -75,6 +104,7 @@ func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 	chosen := make([]int, 0, k)
 	var rec func(start int, covered SubgoalSet) bool
 	rec = func(start int, covered SubgoalSet) bool {
+		cs.st.nodes++
 		if len(chosen) == k {
 			if covered.Covers(cs.universe) {
 				out = append(out, append([]int(nil), chosen...))
@@ -86,6 +116,7 @@ func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 		for i := start; i+remaining <= n; i++ {
 			// Prune: even taking everything from i on cannot cover.
 			if !covered.Union(suffixUnion[i]).Covers(cs.universe) {
+				cs.st.pruned++
 				return true
 			}
 			// Prune: set adds nothing new (a cover of size k using a
@@ -93,6 +124,7 @@ func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 			// size k-1, which the previous depth would have found).
 			add := cs.sets[i].Minus(covered)
 			if add.IsEmpty() {
+				cs.st.pruned++
 				continue
 			}
 			chosen = append(chosen, i)
@@ -114,6 +146,9 @@ func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 // using view tuples that CoreCover* searches (Section 5). maxCovers > 0
 // caps the result; accept may be nil.
 func (cs *coverSearch) IrredundantCovers(maxCovers int, accept func([]int) bool) [][]int {
+	sp := cs.tracer.Start(obs.PhaseCoverSearch)
+	defer sp.End()
+	defer cs.publish()
 	if cs.universe.IsEmpty() {
 		return [][]int{{}}
 	}
@@ -125,8 +160,10 @@ func (cs *coverSearch) IrredundantCovers(maxCovers int, accept func([]int) bool)
 	chosen := make([]int, 0, len(cs.sets))
 	var rec func(covered SubgoalSet) bool
 	rec = func(covered SubgoalSet) bool {
+		cs.st.nodes++
 		if covered.Covers(cs.universe) {
 			if !cs.irredundant(chosen) {
+				cs.st.pruned++
 				return true
 			}
 			key := coverKey(chosen)
@@ -134,6 +171,7 @@ func (cs *coverSearch) IrredundantCovers(maxCovers int, accept func([]int) bool)
 				return true
 			}
 			seen[key] = struct{}{}
+			cs.st.found++
 			sorted := append([]int(nil), chosen...)
 			sort.Ints(sorted)
 			if accept != nil && !accept(sorted) {

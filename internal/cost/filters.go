@@ -3,6 +3,7 @@ package cost
 import (
 	"viewplan/internal/cq"
 	"viewplan/internal/engine"
+	"viewplan/internal/obs"
 	"viewplan/internal/views"
 )
 
@@ -25,6 +26,9 @@ type FilterResult struct {
 // are typically Result.FilterClasses tuples from CoreCoverStar, but any
 // view tuple works.
 func ImproveWithFilters(db *engine.Database, p, q *cq.Query, vs *views.Set, candidates []views.Tuple) (*FilterResult, error) {
+	tr := db.Tracer()
+	sp := tr.Start(obs.PhaseFilterSelection)
+	defer sp.End()
 	best, err := BestPlanM2(db, p)
 	if err != nil {
 		return nil, err
@@ -37,6 +41,7 @@ func ImproveWithFilters(db *engine.Database, p, q *cq.Query, vs *views.Set, cand
 			if cq.ContainsAtom(cur.Body, cand.Atom) {
 				continue
 			}
+			tr.Add(obs.CtrFilterCandidates, 1)
 			ext := cur.Clone()
 			ext.Body = append(ext.Body, cand.Atom.Clone())
 			if !vs.IsEquivalentRewriting(ext, q) {
@@ -50,6 +55,7 @@ func ImproveWithFilters(db *engine.Database, p, q *cq.Query, vs *views.Set, cand
 				res.Rewriting = ext
 				res.Plan = plan
 				res.Added = append(res.Added, cand.Atom.Clone())
+				tr.Add(obs.CtrFiltersAdded, 1)
 				cur = ext
 				improved = true
 				break

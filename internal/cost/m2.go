@@ -5,6 +5,7 @@ import (
 
 	"viewplan/internal/cq"
 	"viewplan/internal/engine"
+	"viewplan/internal/obs"
 )
 
 // PlanM2 simulates the M2 physical plan of rewriting p that joins the
@@ -65,6 +66,11 @@ func BestPlanM2(db *engine.Database, p *cq.Query) (*Plan, error) {
 	if n > maxDPSubgoals {
 		return nil, fmt.Errorf("cost: %d subgoals exceeds the M2 optimizer limit of %d", n, maxDPSubgoals)
 	}
+	tr := db.Tracer()
+	sp := tr.Start(obs.PhaseM2Optimizer)
+	defer sp.End()
+	var states int64
+	defer func() { tr.Add(obs.CtrOptStates, states) }()
 	sizes, err := viewSizes(db, p)
 	if err != nil {
 		return nil, err
@@ -90,6 +96,7 @@ func BestPlanM2(db *engine.Database, p *cq.Query) (*Plan, error) {
 			continue
 		}
 		done[cur.mask] = true
+		states++
 		if cur.mask == full {
 			break
 		}

@@ -5,6 +5,7 @@ import (
 
 	"viewplan/internal/cq"
 	"viewplan/internal/engine"
+	"viewplan/internal/obs"
 	"viewplan/internal/views"
 )
 
@@ -160,6 +161,11 @@ func BestPlanM3(db *engine.Database, p *cq.Query, strategy DropStrategy, q *cq.Q
 	if n > maxM3Subgoals {
 		return nil, fmt.Errorf("cost: %d subgoals exceeds the M3 optimizer limit of %d", n, maxM3Subgoals)
 	}
+	tr := db.Tracer()
+	sp := tr.Start(obs.PhaseM3Optimizer)
+	defer sp.End()
+	var orders int64
+	defer func() { tr.Add(obs.CtrOptOrders, orders) }()
 	var best *Plan
 	err := forEachPermutation(n, func(order []int) error {
 		drops, err := Drops(strategy, p, order, q, vs)
@@ -170,6 +176,7 @@ func BestPlanM3(db *engine.Database, p *cq.Query, strategy DropStrategy, q *cq.Q
 		if err != nil {
 			return err
 		}
+		orders++
 		if best == nil || plan.Cost < best.Cost {
 			best = plan
 		}

@@ -22,6 +22,7 @@ package cost
 
 import (
 	"fmt"
+	"strings"
 
 	"viewplan/internal/cq"
 	"viewplan/internal/engine"
@@ -100,6 +101,27 @@ func (p *Plan) String() string {
 		s += fmt.Sprintf(" |IR|=%d", st.ResultSize)
 	}
 	return s
+}
+
+// Tree renders the plan as an annotated multi-line step listing: one
+// line per join step with the view size, intermediate-relation size,
+// dropped attributes (M3), and retained schema. Used by the corecover
+// CLI's -explain output.
+func (p *Plan) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s plan, cost %d:\n", p.Model, p.Cost)
+	for i, st := range p.Steps {
+		branch := "├─"
+		if i == len(p.Steps)-1 {
+			branch = "└─"
+		}
+		fmt.Fprintf(&b, "  %s %d. %s  |view|=%d → |IR|=%d", branch, i+1, st.Subgoal, st.ViewSize, st.ResultSize)
+		if len(st.Dropped) > 0 {
+			fmt.Fprintf(&b, "  drop %v", st.Dropped)
+		}
+		fmt.Fprintf(&b, "  retain %v\n", st.Retained)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // viewSizes fetches the stored relation sizes for every body subgoal,

@@ -2,22 +2,36 @@ package engine
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"viewplan/internal/cq"
+	"viewplan/internal/obs"
 	"viewplan/internal/views"
 )
 
 // Database is a collection of named relations: the base relations plus any
 // materialized views.
 type Database struct {
-	rels map[string]*Relation
+	rels   map[string]*Relation
+	tracer *obs.Tracer
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
 	return &Database{rels: make(map[string]*Relation)}
 }
+
+// SetTracer attaches an observability tracer: join steps count work
+// into it, and when the tracer has a log sink every join emits a
+// structured event with the intermediate relation's size. A nil tracer
+// (the default) turns instrumentation off. The cost optimizers pick the
+// tracer up from here, so one SetTracer call instruments plan costing
+// end to end. Not safe to change while queries run concurrently.
+func (db *Database) SetTracer(tr *obs.Tracer) { db.tracer = tr }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (db *Database) Tracer() *obs.Tracer { return db.tracer }
 
 // Relation returns the named relation, or nil.
 func (db *Database) Relation(name string) *Relation { return db.rels[name] }
@@ -292,6 +306,17 @@ func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*
 				row = append(row, right[nv.first])
 			}
 			out.Insert(row)
+		}
+	}
+	if db.tracer != nil {
+		db.tracer.Add(obs.CtrJoinSteps, 1)
+		db.tracer.Add(obs.CtrJoinRows, int64(out.Size()))
+		if db.tracer.HasSink() {
+			db.tracer.Event("join-step",
+				slog.String("subgoal", atom.String()),
+				slog.Int("view_rows", rel.Size()),
+				slog.Int("intermediate_rows", out.Size()),
+				slog.Int("retained_vars", len(outSchema)))
 		}
 	}
 	if retain != nil {

@@ -9,12 +9,14 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
 	"viewplan/internal/corecover"
+	"viewplan/internal/obs"
 	"viewplan/internal/views"
 	"viewplan/internal/workload"
 )
@@ -22,28 +24,35 @@ import (
 // Point is one x-axis position of a sweep with averaged measurements.
 type Point struct {
 	// NumViews is the x coordinate.
-	NumViews int
+	NumViews int `json:"num_views"`
 	// AvgMillis is the mean CoreCover time (all GMRs) over the queries
 	// that had rewritings.
-	AvgMillis float64
+	AvgMillis float64 `json:"avg_ms"`
 	// MaxMillis is the worst query's time.
-	MaxMillis float64
+	MaxMillis float64 `json:"max_ms"`
 	// AvgViewClasses is the mean number of view equivalence classes
 	// (Figures 7(a)/9(a), "number of representative views").
-	AvgViewClasses float64
+	AvgViewClasses float64 `json:"avg_view_classes"`
 	// AvgAllTuples is the mean number of view tuples computed from all
 	// views (Figures 7(b)/9(b), "all view tuples").
-	AvgAllTuples float64
+	AvgAllTuples float64 `json:"avg_all_tuples"`
 	// AvgRepTuples is the mean number of representative view tuples
 	// (distinct tuple-core classes).
-	AvgRepTuples float64
+	AvgRepTuples float64 `json:"avg_rep_tuples"`
 	// AvgGMRs and AvgGMRSize describe the rewritings found.
-	AvgGMRs    float64
-	AvgGMRSize float64
+	AvgGMRs    float64 `json:"avg_gmrs"`
+	AvgGMRSize float64 `json:"avg_gmr_size"`
 	// WithRewriting counts the queries that had a rewriting, out of
 	// Queries attempted.
-	WithRewriting int
-	Queries       int
+	WithRewriting int `json:"with_rewriting"`
+	Queries       int `json:"queries"`
+	// Counters are the summed planner work counters over the queries with
+	// rewritings (SweepConfig.Trace only; nil otherwise). Keys are the
+	// obs counter names, e.g. "hom_searches", "cover_nodes".
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// PhaseNanos are the summed per-phase wall times over the same
+	// queries, flattened by phase name (SweepConfig.Trace only).
+	PhaseNanos map[string]int64 `json:"phase_nanos,omitempty"`
 }
 
 // SweepConfig parameterizes one figure-generating sweep.
@@ -65,8 +74,15 @@ type SweepConfig struct {
 	// Parallelism runs that many queries concurrently per point (0 or 1 =
 	// sequential). Instances are seeded deterministically, so aggregates
 	// are identical to a sequential run; per-query wall times are still
-	// measured individually.
+	// measured individually. Note that with Trace set and Parallelism > 1
+	// the process-global counters (hom_searches, homs_found) may be
+	// attributed to the wrong concurrent query; their sums stay exact.
 	Parallelism int
+	// Trace gives every query its own obs.Tracer and aggregates the work
+	// counters and phase times onto each Point (Counters, PhaseNanos).
+	// Tracing adds a little overhead to the timed region, so leave it off
+	// when reproducing the paper's timing figures.
+	Trace bool
 }
 
 // DefaultViewCounts is the paper's x axis: 100 to 1000 views.
@@ -99,6 +115,7 @@ type queryResult struct {
 	viewClasses, repTuples int
 	gmrs, gmrSize          int
 	allTuples              int
+	stats                  *obs.Snapshot
 	err                    error
 }
 
@@ -120,8 +137,12 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			if err != nil {
 				return queryResult{err: err}
 			}
+			opts := cfg.Options
+			if cfg.Trace {
+				opts.Tracer = obs.New()
+			}
 			start := time.Now()
-			res, err := corecover.CoreCover(inst.Query, inst.Views, cfg.Options)
+			res, err := corecover.CoreCover(inst.Query, inst.Views, opts)
 			if err != nil {
 				return queryResult{err: err}
 			}
@@ -139,6 +160,7 @@ func Run(cfg SweepConfig) ([]Point, error) {
 				// "All view tuples" counts tuples from the full, ungrouped
 				// view set (the upper curve of Figures 7(b)/9(b)).
 				allTuples: len(views.ComputeTuples(res.MinimalQuery, inst.Views)),
+				stats:     res.PlanningStats,
 			}
 		}
 		if cfg.Parallelism > 1 {
@@ -176,6 +198,7 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			pt.AvgGMRs += float64(r.gmrs)
 			pt.AvgGMRSize += float64(r.gmrSize)
 			pt.AvgAllTuples += float64(r.allTuples)
+			pt.absorb(r.stats)
 		}
 		if pt.WithRewriting > 0 {
 			n := float64(pt.WithRewriting)
@@ -189,6 +212,29 @@ func Run(cfg SweepConfig) ([]Point, error) {
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// absorb folds one query's observability snapshot into the point's
+// counter and phase-time sums.
+func (pt *Point) absorb(s *obs.Snapshot) {
+	if s == nil {
+		return
+	}
+	if pt.Counters == nil {
+		pt.Counters = make(map[string]int64)
+		pt.PhaseNanos = make(map[string]int64)
+	}
+	for name, v := range s.Counters {
+		pt.Counters[name] += v
+	}
+	var walk func(ps []obs.PhaseStats)
+	walk = func(ps []obs.PhaseStats) {
+		for _, p := range ps {
+			pt.PhaseNanos[p.Phase] += p.Nanos
+			walk(p.Children)
+		}
+	}
+	walk(s.Phases)
 }
 
 func countNonEmptyClasses(res *corecover.Result) int {
@@ -241,6 +287,25 @@ func ConfigFor(fig Figure) (SweepConfig, error) {
 		return SweepConfig{}, fmt.Errorf("experiments: unknown figure %q", fig)
 	}
 	return base, nil
+}
+
+// FigureMetrics is one figure's sweep in the machine-readable report
+// written by `benchviews -metrics FILE` (the BENCH_*.json trajectory
+// files): the sweep's identity plus every Point with its counter and
+// phase-time aggregates.
+type FigureMetrics struct {
+	Figure           Figure  `json:"figure"`
+	Shape            string  `json:"shape"`
+	Nondistinguished int     `json:"nondistinguished"`
+	QueriesPerPoint  int     `json:"queries_per_point"`
+	Points           []Point `json:"points"`
+}
+
+// WriteMetrics renders the report as indented JSON.
+func WriteMetrics(w io.Writer, report []FigureMetrics) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 // Render writes a figure's series as an aligned text table (and CSV-ready

@@ -156,3 +156,59 @@ func TestDefaultViewCounts(t *testing.T) {
 		t.Errorf("view counts = %v", vc)
 	}
 }
+
+func TestTraceAggregates(t *testing.T) {
+	cfg := smallSweep(workload.Star, 0)
+	cfg.Trace = true
+	pts, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.WithRewriting == 0 {
+			continue
+		}
+		if p.Counters == nil || p.PhaseNanos == nil {
+			t.Fatalf("trace aggregates missing at %d views: %+v", p.NumViews, p)
+		}
+		for _, ctr := range []string{"view_tuples", "tuple_cores", "cover_nodes", "hom_searches", "rewritings"} {
+			if p.Counters[ctr] <= 0 {
+				t.Errorf("counter %s = %d at %d views", ctr, p.Counters[ctr], p.NumViews)
+			}
+		}
+		total := p.PhaseNanos["corecover"]
+		if total <= 0 {
+			t.Fatalf("corecover phase time missing at %d views", p.NumViews)
+		}
+		// The sub-phases must account for (nearly) all of the run: their
+		// sum lies within 10% of the root span's total.
+		sum := int64(0)
+		for name, ns := range p.PhaseNanos {
+			switch name {
+			case "minimize", "view-grouping", "view-tuples", "tuple-cores", "cover-search", "assemble":
+				sum += ns
+			}
+		}
+		if ratio := float64(sum) / float64(total); ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("sub-phase sum %.0fns is %.0f%% of total %.0fns at %d views",
+				float64(sum), 100*ratio, float64(total), p.NumViews)
+		}
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	report := []FigureMetrics{{
+		Figure: Fig6a, Shape: "star", QueriesPerPoint: 4,
+		Points: []Point{{NumViews: 40, Counters: map[string]int64{"view_tuples": 7}}},
+	}}
+	if err := WriteMetrics(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"figure": "6a"`, `"num_views": 40`, `"view_tuples": 7`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics JSON missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -21,6 +21,13 @@ type PlanRequest struct {
 	// MaxRewritings caps the rewritings considered (0 = all minimal
 	// rewritings from CoreCover*).
 	MaxRewritings int
+	// Tracer, when non-nil, observes the whole pipeline — rewriting
+	// generation, join-order optimization, and filter selection — and
+	// PlanResult.Stats carries its snapshot. The tracer is attached to
+	// db for the duration of the call (and restored afterwards), so
+	// concurrent PlanQuery calls on one db should share a tracer or
+	// leave it nil.
+	Tracer *Tracer
 }
 
 // PlanResult is the planner's answer: the chosen rewriting with its
@@ -38,6 +45,9 @@ type PlanResult struct {
 	Considered int
 	// FiltersAdded lists filter literals appended under M2.
 	FiltersAdded []Atom
+	// Stats is the observability snapshot of the run when
+	// PlanRequest.Tracer was set; nil otherwise.
+	Stats *PlanningStats
 }
 
 // PlanQuery runs the paper's full two-step architecture in one call:
@@ -52,7 +62,18 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 	if req.Model == 0 {
 		req.Model = M2
 	}
-	opts := corecover.Options{MaxRewritings: req.MaxRewritings}
+	opts := corecover.Options{MaxRewritings: req.MaxRewritings, Tracer: req.Tracer}
+	if req.Tracer != nil && db != nil {
+		prev := db.Tracer()
+		db.SetTracer(req.Tracer)
+		defer db.SetTracer(prev)
+	}
+	snapshot := func() *PlanningStats {
+		if req.Tracer == nil {
+			return nil
+		}
+		return req.Tracer.Snapshot()
+	}
 
 	if req.Model == M1 {
 		res, err := corecover.CoreCover(q, vs, opts)
@@ -67,6 +88,7 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 			Rewriting:  p,
 			Cost:       cost.M1Cost(p),
 			Considered: len(res.Rewritings),
+			Stats:      snapshot(),
 		}, nil
 	}
 
@@ -124,5 +146,6 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 			}
 		}
 	}
+	best.Stats = snapshot()
 	return best, nil
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — fast pre-commit gate: vet everything, then run the
+# observability and planner-core tests with the race detector (the obs
+# counters are the only shared mutable state on the hot path, so these
+# are the packages where a data race would hide).
+#
+# Usage: ./scripts/check.sh   (or: make check)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./internal/obs/... ./internal/corecover/..."
+go test -race ./internal/obs/... ./internal/corecover/...
+
+echo "check: OK"

@@ -20,19 +20,41 @@
 //	    fmt.Println(p) // q(S, C) :- v1(M, a, C), v2(S, M, C)
 //	}
 //
+// # Observability
+//
+// The planner is instrumented end to end. Every Result returned by
+// FindGMRs and FindMinimalRewritings carries a PlanningStats snapshot —
+// hierarchical phase durations (minimize, view tuples, tuple cores,
+// cover search, verification) plus work counters (view tuples
+// generated, homomorphism searches, cover-search nodes, rewritings
+// verified) — with no setup:
+//
+//	res, _ := viewplan.FindGMRs(q, vs)
+//	fmt.Println(res.PlanningStats.Text())
+//
+// For finer control, wire a Tracer yourself: NewTracer (or
+// NewTracerWithLog for structured slog trace events) into
+// Options.Tracer, PlanRequest.Tracer, or Database.SetTracer (which
+// also makes the M2/M3 optimizers and the join engine report). A nil
+// tracer is a no-op: the ...With entry points with a zero Options
+// value plan with zero instrumentation overhead.
+//
 // The packages under internal/ hold the implementation: cq (conjunctive
 // queries), containment (Chandra–Merlin machinery), views (expansions and
 // view tuples), corecover (the paper's core), engine (execution), cost
-// (M1/M2/M3 optimizers), minicon/bucket/naive (baselines), workload and
-// experiments (the Section 7 evaluation).
+// (M1/M2/M3 optimizers), obs (tracing and metrics), minicon/bucket/naive
+// (baselines), workload and experiments (the Section 7 evaluation).
 package viewplan
 
 import (
+	"log/slog"
+
 	"viewplan/internal/containment"
 	"viewplan/internal/corecover"
 	"viewplan/internal/cost"
 	"viewplan/internal/cq"
 	"viewplan/internal/engine"
+	"viewplan/internal/obs"
 	"viewplan/internal/stats"
 	"viewplan/internal/ucq"
 	"viewplan/internal/views"
@@ -79,6 +101,14 @@ type (
 	DropStrategy = cost.DropStrategy
 	// FilterResult reports the Section 5.1 filter-selection outcome.
 	FilterResult = cost.FilterResult
+	// Tracer records hierarchical phase spans and atomic work counters
+	// for one planning run; nil is the no-op default.
+	Tracer = obs.Tracer
+	// PlanningStats is a snapshot of a run's phase durations and
+	// counters (Result.PlanningStats); renders as text or JSON.
+	PlanningStats = obs.Snapshot
+	// PhaseStats is one node of a PlanningStats phase tree.
+	PhaseStats = obs.PhaseStats
 )
 
 // Cost models and drop strategies.
@@ -105,16 +135,28 @@ func ParseViews(src string) (*ViewSet, error) { return views.ParseSet(src) }
 // NewViews builds a view set from parsed definitions.
 func NewViews(defs ...*Query) (*ViewSet, error) { return views.NewSet(defs...) }
 
+// NewTracer returns an empty planner tracer to pass via Options.Tracer,
+// PlanRequest.Tracer, or Database.SetTracer.
+func NewTracer() *Tracer { return obs.New() }
+
+// NewTracerWithLog returns a tracer that additionally emits structured
+// slog trace events (debug level): one per completed phase span and one
+// per engine join step.
+func NewTracerWithLog(l *slog.Logger) *Tracer { return obs.NewWithSink(l) }
+
 // FindGMRs runs CoreCover (Section 4): it returns all globally-minimal
 // rewritings of q using the views — the optimal rewritings under cost
 // model M1. Result.Rewritings is empty when q has no equivalent
-// rewriting.
+// rewriting. The Result's PlanningStats reports where planning time
+// went; use FindGMRsWith to supply your own tracer (or, with a zero
+// Options value, to plan with zero instrumentation overhead).
 func FindGMRs(q *Query, vs *ViewSet) (*Result, error) {
-	return corecover.CoreCover(q, vs, Options{})
+	return corecover.CoreCover(q, vs, Options{Tracer: obs.New()})
 }
 
 // FindGMRsWith is FindGMRs with explicit options (grouping ablations,
-// caps).
+// caps, tracing). Result.PlanningStats is populated only when
+// opts.Tracer is set.
 func FindGMRsWith(q *Query, vs *ViewSet, opts Options) (*Result, error) {
 	return corecover.CoreCover(q, vs, opts)
 }
@@ -122,12 +164,14 @@ func FindGMRsWith(q *Query, vs *ViewSet, opts Options) (*Result, error) {
 // FindMinimalRewritings runs CoreCover* (Section 5): all minimal
 // rewritings of q that use view tuples — the search space guaranteed to
 // contain an optimal rewriting under cost model M2. Empty-core view
-// tuples usable as filters are in Result.FilterClasses().
+// tuples usable as filters are in Result.FilterClasses(). The Result's
+// PlanningStats reports where planning time went.
 func FindMinimalRewritings(q *Query, vs *ViewSet) (*Result, error) {
-	return corecover.CoreCoverStar(q, vs, Options{})
+	return corecover.CoreCoverStar(q, vs, Options{Tracer: obs.New()})
 }
 
 // FindMinimalRewritingsWith is FindMinimalRewritings with options.
+// Result.PlanningStats is populated only when opts.Tracer is set.
 func FindMinimalRewritingsWith(q *Query, vs *ViewSet, opts Options) (*Result, error) {
 	return corecover.CoreCoverStar(q, vs, opts)
 }
