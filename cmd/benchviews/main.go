@@ -10,6 +10,13 @@
 //	benchviews -fig all             # every figure (paper scale; minutes)
 //	benchviews -fig 8b -queries 10 -views 100,300,500
 //	benchviews -fig 6a -nogroup     # ablation: grouping disabled
+//	benchviews -fig 6a -parallel 0  # planner fanout across all cores
+//	benchviews -fig 6a -jobs 8      # sweep 8 queries concurrently
+//
+// -parallel bounds the worker pool inside each CoreCover run (0 =
+// GOMAXPROCS) and therefore changes the per-query times the figures
+// report; -jobs overlaps whole queries to finish the sweep faster
+// without touching per-query times.
 //
 // Output is an aligned text table per figure, suitable for plotting.
 package main
@@ -33,17 +40,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		nogroup = flag.Bool("nogroup", false, "ablation: disable view and view-tuple equivalence-class grouping")
 		subg    = flag.Int("subgoals", 0, "query subgoals (default: the paper's 8)")
-		par     = flag.Int("parallel", 1, "queries run concurrently per point (1 = sequential, matching the paper's protocol)")
+		par     = flag.Int("parallel", 1, "planner worker-pool bound inside each CoreCover run: 1 = sequential (the paper's protocol), 0 = GOMAXPROCS; results are identical for every setting")
+		jobs    = flag.Int("jobs", 1, "queries run concurrently per point (1 = sequential); speeds the sweep up without touching per-query times")
 		metrics = flag.String("metrics", "", "write per-run planner metrics (counters, phase times) as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par, *metrics); err != nil {
+	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par, *jobs, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "benchviews:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel int, metricsFile string) error {
+func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel, jobs int, metricsFile string) error {
 	var figures []experiments.Figure
 	if fig == "all" {
 		figures = experiments.AllFigures()
@@ -84,11 +92,14 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 			cfg.QuerySubgoals = subgoals
 		}
 		cfg.Seed = seed
-		cfg.Parallelism = parallel
+		cfg.Parallelism = jobs
 		cfg.Trace = metricsFile != ""
 		if nogroup {
 			cfg.Options = corecover.Options{DisableViewGrouping: true, DisableTupleGrouping: true}
 		}
+		// The planner fanout bound is measured per query, so it composes
+		// with -jobs (which only overlaps whole queries).
+		cfg.Options.Parallelism = parallel
 		k := key{cfg.Shape.String(), cfg.Nondistinguished}
 		pts, ok := cache[k]
 		if !ok {

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	corecover [-star] [-algo corecover|minicon|bucket|naive] [-verbose]
-//	          [-trace] [-explain] [-data facts.dl] [-model M1|M2|M3] file.dl
+//	          [-trace] [-explain] [-parallel N] [-data facts.dl]
+//	          [-model M1|M2|M3] file.dl
 //
 // With -data, the base facts are loaded, views are materialized, and each
 // rewriting is costed under the chosen model. With -trace, a per-phase
@@ -46,9 +47,10 @@ type config struct {
 	verbose bool   // print tuples, cores, equivalence classes
 	trace   bool   // print the phase/counter breakdown
 	explain bool   // annotate rewritings with their covers
-	data    string // fact file enabling cost-based plans
-	model   string // M1, M2, M3
-	maxRW   int    // rewriting cap (0 = all)
+	data     string // fact file enabling cost-based plans
+	model    string // M1, M2, M3
+	maxRW    int    // rewriting cap (0 = all)
+	parallel int    // planner worker-pool bound (0 = GOMAXPROCS)
 }
 
 func main() {
@@ -61,6 +63,7 @@ func main() {
 	flag.StringVar(&cfg.data, "data", "", "file of ground facts; enables cost-based plan output")
 	flag.StringVar(&cfg.model, "model", "M2", "cost model for -data plans: M1, M2, or M3")
 	flag.IntVar(&cfg.maxRW, "max", 0, "cap the number of rewritings (0 = all)")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "planner worker-pool bound: 0 = GOMAXPROCS, 1 = sequential (output is identical for every setting)")
 	flag.Parse()
 	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "corecover:", err)
@@ -100,7 +103,7 @@ func run(w io.Writer, cfg config, args []string) error {
 	var res *corecover.Result
 	switch cfg.algo {
 	case "corecover":
-		opts := corecover.Options{MaxRewritings: cfg.maxRW, Tracer: tracer}
+		opts := corecover.Options{MaxRewritings: cfg.maxRW, Parallelism: cfg.parallel, Tracer: tracer}
 		if cfg.star {
 			res, err = corecover.CoreCoverStar(q, vs, opts)
 		} else {

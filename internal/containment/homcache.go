@@ -1,0 +1,143 @@
+package containment
+
+import (
+	"sync"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/obs"
+)
+
+// HomCache memoizes the results of containment-mapping searches across
+// repeated checks of renamed-apart copies of the same queries. Keys are
+// the exact canonical forms of the (src, target) pair: containment is
+// invariant under independently renaming the variables of either side and
+// under body reordering, so two checks with equal canonical keys have
+// equal answers. Pairs without an exact canonical form — oversized bodies
+// or built-in comparisons, where cq.ExactCanonicalKey declines — bypass
+// the cache and are computed directly every time.
+//
+// The zero value is ready to use, and methods on a nil *HomCache fall
+// through to the uncached implementations, so callers can thread an
+// optional cache without branching. The cache is safe for concurrent use
+// by the planner's worker pool; hits and misses count into obs.Global
+// (CtrHomCacheHit / CtrHomCacheMiss), where per-run tracers absorb them.
+type HomCache struct {
+	mu sync.RWMutex
+	m  map[homKey]bool
+}
+
+// homKey identifies one ordered (from, to) canonical pair.
+type homKey struct {
+	from, to string
+}
+
+// keyFor builds the cache key for a mapping check from `from` onto `to`,
+// reporting whether the pair is cacheable.
+func keyFor(from, to *cq.Query) (homKey, bool) {
+	kf, ok := cq.ExactCanonicalKey(from)
+	if !ok {
+		return homKey{}, false
+	}
+	kt, ok := cq.ExactCanonicalKey(to)
+	if !ok {
+		return homKey{}, false
+	}
+	return homKey{from: kf, to: kt}, true
+}
+
+// HasMapping reports whether a containment mapping from `from` onto `to`
+// exists (witnessing to ⊑ from), answering from the cache when the pair
+// has been decided before. The witness substitution itself is not cached:
+// it names the concrete variables of one pair and is not transferable to
+// a renamed copy, which is exactly what equal keys may be.
+func (c *HomCache) HasMapping(from, to *cq.Query) bool {
+	if c == nil {
+		_, ok := FindContainmentMapping(from, to)
+		return ok
+	}
+	key, cacheable := keyFor(from, to)
+	if cacheable {
+		c.mu.RLock()
+		v, done := c.m[key]
+		c.mu.RUnlock()
+		if done {
+			obs.Global.Add(obs.CtrHomCacheHit, 1)
+			return v
+		}
+	}
+	obs.Global.Add(obs.CtrHomCacheMiss, 1)
+	_, ok := FindContainmentMapping(from, to)
+	if cacheable {
+		c.mu.Lock()
+		if c.m == nil {
+			c.m = make(map[homKey]bool)
+		}
+		c.m[key] = ok
+		c.mu.Unlock()
+	}
+	return ok
+}
+
+// DecidePair memoizes an arbitrary containment-style verdict under a
+// precomputed canonical pair key, computing it with decide on a miss.
+// It exists for callers whose verdict is a function of a *pair* of
+// queries but who can key it more cheaply than canonicalizing both
+// inputs per call — the cover-search verifier keys its expansion-
+// equivalence checks by the small candidate rewriting's canonical form
+// (plus the fixed minimized query's, computed once per run) instead of
+// canonicalizing the much larger expansion every time. The caller owns
+// key soundness: equal (from, to) keys must imply equal verdicts, and
+// decide must be pure. decide may run more than once for the same key
+// under concurrency (the verdict is deterministic, so last-write-wins
+// storing is safe); it is never run on a hit.
+func (c *HomCache) DecidePair(from, to string, decide func() bool) bool {
+	if c == nil {
+		return decide()
+	}
+	key := homKey{from: from, to: to}
+	c.mu.RLock()
+	v, done := c.m[key]
+	c.mu.RUnlock()
+	if done {
+		obs.Global.Add(obs.CtrHomCacheHit, 1)
+		return v
+	}
+	obs.Global.Add(obs.CtrHomCacheMiss, 1)
+	v = decide()
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[homKey]bool)
+	}
+	c.m[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Contains is the cached version of Contains: q1 ⊑ q2.
+func (c *HomCache) Contains(q1, q2 *cq.Query) bool {
+	if c == nil {
+		return Contains(q1, q2)
+	}
+	if q1.Head.Pred != q2.Head.Pred || q1.Head.Arity() != q2.Head.Arity() {
+		return false
+	}
+	if len(q1.Comparisons) > 0 && !SatisfiableComparisons(q1.Comparisons) {
+		return true
+	}
+	return c.HasMapping(q2, q1)
+}
+
+// Equivalent is the cached version of Equivalent: containment both ways.
+func (c *HomCache) Equivalent(q1, q2 *cq.Query) bool {
+	return c.Contains(q1, q2) && c.Contains(q2, q1)
+}
+
+// Len returns the number of decided pairs held by the cache.
+func (c *HomCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,92 @@
+package containment
+
+import (
+	"testing"
+
+	"viewplan/internal/cq"
+)
+
+func TestHomCacheContainsMatchesUncached(t *testing.T) {
+	q1 := cq.MustParseQuery("q(X, Y) :- e(X, Z), e(Z, Y)")
+	q2 := cq.MustParseQuery("q(A, B) :- e(A, C), e(C, B), e(A, D)")
+	q3 := cq.MustParseQuery("q(X, Y) :- e(X, Y)")
+	c := &HomCache{}
+	pairs := [][2]*cq.Query{{q1, q2}, {q2, q1}, {q1, q3}, {q3, q1}, {q1, q1}}
+	for round := 0; round < 2; round++ { // second round answers from cache
+		for _, p := range pairs {
+			if got, want := c.Contains(p[0], p[1]), Contains(p[0], p[1]); got != want {
+				t.Fatalf("round %d: cached Contains(%s, %s) = %v, uncached %v",
+					round, p[0], p[1], got, want)
+			}
+			if got, want := c.Equivalent(p[0], p[1]), Equivalent(p[0], p[1]); got != want {
+				t.Fatalf("round %d: cached Equivalent(%s, %s) = %v, uncached %v",
+					round, p[0], p[1], got, want)
+			}
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache stored nothing for cacheable pairs")
+	}
+}
+
+func TestHomCacheRenamedCopiesShareEntries(t *testing.T) {
+	c := &HomCache{}
+	q := cq.MustParseQuery("q(X) :- e(X, Y), e(Y, X)")
+	c.Contains(cq.MustParseQuery("q(A) :- e(A, B), e(B, A)"), q)
+	before := c.Len()
+	// A renamed-apart copy must hit the same entry, not add one.
+	c.Contains(cq.MustParseQuery("q(U) :- e(V, U), e(U, V)"), q)
+	if c.Len() != before {
+		t.Fatalf("renamed copy added an entry: %d -> %d", before, c.Len())
+	}
+}
+
+func TestHomCacheUncacheableBypasses(t *testing.T) {
+	c := &HomCache{}
+	// Comparisons have no exact canonical key, so the pair must bypass
+	// the cache but still be answered correctly.
+	q1 := cq.MustParseQuery("q(X) :- e(X, Y), X < Y")
+	q2 := cq.MustParseQuery("q(A) :- e(A, B), A < B")
+	if got, want := c.Contains(q1, q2), Contains(q1, q2); got != want {
+		t.Fatalf("cached Contains = %v, uncached %v", got, want)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("uncacheable pair was stored: Len = %d", c.Len())
+	}
+}
+
+func TestHomCacheNilFallsThrough(t *testing.T) {
+	var c *HomCache
+	q1 := cq.MustParseQuery("q(X) :- e(X, Y)")
+	q2 := cq.MustParseQuery("q(A) :- e(A, B), e(B, A)")
+	if got, want := c.Contains(q2, q1), Contains(q2, q1); got != want {
+		t.Fatalf("nil cache Contains = %v, uncached %v", got, want)
+	}
+	if !c.DecidePair("a", "b", func() bool { return true }) {
+		t.Fatal("nil cache DecidePair must run decide")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache must report Len 0")
+	}
+}
+
+func TestHomCacheDecidePair(t *testing.T) {
+	c := &HomCache{}
+	calls := 0
+	decide := func() bool { calls++; return true }
+	if !c.DecidePair("src", "dst", decide) {
+		t.Fatal("first DecidePair should return decide's verdict")
+	}
+	if !c.DecidePair("src", "dst", decide) {
+		t.Fatal("second DecidePair should return the cached verdict")
+	}
+	if calls != 1 {
+		t.Fatalf("decide ran %d times, want 1 (hit must not recompute)", calls)
+	}
+	// The key is an ordered pair: the reverse direction is distinct.
+	rev := 0
+	c.DecidePair("dst", "src", func() bool { rev++; return false })
+	if rev != 1 || c.Len() != 2 {
+		t.Fatalf("reversed pair should miss: rev=%d Len=%d", rev, c.Len())
+	}
+}

@@ -2,7 +2,10 @@ package corecover
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"viewplan/internal/containment"
 	"viewplan/internal/cq"
@@ -12,7 +15,7 @@ import (
 
 // Options tunes the CoreCover algorithms. The zero value enables the
 // paper's configuration (view and view-tuple equivalence-class grouping on,
-// no caps).
+// no caps) with the worker pool sized to the machine (see Parallelism).
 type Options struct {
 	// DisableViewGrouping skips the Section 5.2 grouping of views into
 	// equivalence classes (used by the grouping ablation benchmark).
@@ -30,6 +33,23 @@ type Options struct {
 	// PlanningStats. The nil default is a no-op: the hot path pays only
 	// a pointer check.
 	Tracer *obs.Tracer
+	// Parallelism bounds the worker pool that fans out the per-view
+	// homomorphism enumeration (view tuples) and the per-cover
+	// verification batches. 0 defaults to runtime.GOMAXPROCS(0); 1 runs
+	// the pipeline strictly sequentially, creating no goroutines and
+	// paying no synchronization on the hot path. The Result is identical
+	// for every setting: workers collect into index-addressed slots and
+	// the coordinator reassembles in deterministic order (see DESIGN.md,
+	// "Parallel search determinism").
+	Parallelism int
+}
+
+// parallelism resolves the effective worker-pool bound.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // TupleClass groups view tuples with the same tuple-core (the concise
@@ -118,7 +138,7 @@ func CoreCover(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
 		return nil, err
 	}
 	ver := r.newVerifier(vs, opts)
-	covers := cs.MinimumCovers(opts.MaxRewritings, ver.accept(opts.Tracer))
+	covers := cs.MinimumCovers(opts.MaxRewritings, ver.coverFilter(opts.Tracer, opts.MaxRewritings))
 	sp := opts.Tracer.Start(obs.PhaseAssemble)
 	r.collect(covers, ver, opts.Tracer)
 	sp.End()
@@ -214,7 +234,14 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 	}
 
 	sp = tr.Start(obs.PhaseViewTuples)
-	tuples := views.ComputeTuples(minQ, work)
+	var tuples []views.Tuple
+	if par := opts.parallelism(); par > 1 {
+		fan := tr.Start(obs.PhaseParallelFanout)
+		tuples = views.ComputeTuplesN(minQ, work, par)
+		fan.End()
+	} else {
+		tuples = views.ComputeTuples(minQ, work)
+	}
 	sp.End()
 	tr.Add(obs.CtrViewTuples, int64(len(tuples)))
 	cc := newCoreComputer(minQ)
@@ -282,15 +309,53 @@ type verifier struct {
 	r    *Result
 	vs   *views.Set
 	opts Options
-	ok   map[string]*cq.Query
+	// mu guards ok: the map is written by the fanout workers of
+	// coverFilter's parallel path as well as the sequential collect pass.
+	mu sync.Mutex
+	ok map[string]*cq.Query
+	// hom memoizes the expansion-equivalence verdicts, shared by every
+	// worker of a parallel run. Candidate rewritings repeat up to
+	// variable renaming across covers and member fallbacks, so the
+	// verdicts are keyed by the candidate's exact canonical form paired
+	// with minKey — canonicalizing the small candidate, never its
+	// expansion. The cache is enabled only when the run actually fans
+	// out (parallelism > 1): key construction is not free, and the
+	// sequential path must keep its exact allocation profile.
+	hom    containment.HomCache
+	minKey string
 }
 
 func (r *Result) newVerifier(vs *views.Set, opts Options) *verifier {
-	return &verifier{r: r, vs: vs, opts: opts, ok: make(map[string]*cq.Query)}
+	v := &verifier{r: r, vs: vs, opts: opts, ok: make(map[string]*cq.Query)}
+	if !opts.SkipVerification && opts.parallelism() > 1 {
+		// "" (an impossible canonical form) keeps the verdict cache off:
+		// sequential runs, and minimized queries with no exact canonical
+		// key.
+		v.minKey, _ = cq.ExactCanonicalKey(r.MinimalQuery)
+	}
+	return v
 }
 
-// accept returns the callback handed to the cover search, or nil when
-// verification is disabled.
+// isEquivalent decides whether p is an equivalent rewriting of the
+// minimized query, answering repeats (up to renaming p) from the hom
+// cache when it is enabled. Uncacheable candidates of a parallel run
+// fall through to the direct check and count as misses.
+func (v *verifier) isEquivalent(p *cq.Query) bool {
+	if v.minKey == "" {
+		return v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery)
+	}
+	pk, ok := cq.ExactCanonicalKey(p)
+	if !ok {
+		obs.Global.Add(obs.CtrHomCacheMiss, 1)
+		return v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery)
+	}
+	return v.hom.DecidePair(pk, v.minKey, func() bool {
+		return v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery)
+	})
+}
+
+// accept returns the per-cover callback handed to the irredundant-cover
+// search, or nil when verification is disabled.
 func (v *verifier) accept(tr *obs.Tracer) func([]int) bool {
 	if v.opts.SkipVerification {
 		return nil
@@ -299,6 +364,77 @@ func (v *verifier) accept(tr *obs.Tracer) func([]int) bool {
 		_, ok := v.verify(tr, cover)
 		return ok
 	}
+}
+
+// coverFilter returns the batch filter handed to the minimum-cover
+// search, or nil when verification is disabled (the search then applies
+// maxAccepted itself). The filter keeps each size level's accepted covers
+// in enumeration order and truncates to maxAccepted accepted covers —
+// rejected candidates never count against the cap. The sequential and
+// parallel paths return byte-identical slices: verification of a cover is
+// deterministic, order is preserved by index, and the cap takes the same
+// prefix of accepted covers either way (the parallel path merely verifies
+// some covers beyond the cap speculatively).
+func (v *verifier) coverFilter(tr *obs.Tracer, maxAccepted int) func([][]int) [][]int {
+	if v.opts.SkipVerification {
+		return nil
+	}
+	par := v.opts.parallelism()
+	return func(covers [][]int) [][]int {
+		if par > 1 && len(covers) > 1 {
+			return v.filterParallel(tr, covers, maxAccepted, par)
+		}
+		out := covers[:0]
+		for _, c := range covers {
+			if _, ok := v.verify(tr, c); ok {
+				out = append(out, c)
+				if maxAccepted > 0 && len(out) >= maxAccepted {
+					break
+				}
+			}
+		}
+		return out
+	}
+}
+
+// filterParallel verifies a batch of covers across the worker pool.
+// Workers claim cover indexes and write verdicts into index-addressed
+// slots; they must not open tracer spans (spans are single-goroutine), so
+// the coordinator wraps the fanout in one PhaseParallelFanout span and
+// workers report through atomic counters only.
+func (v *verifier) filterParallel(tr *obs.Tracer, covers [][]int, maxAccepted, par int) [][]int {
+	sp := tr.Start(obs.PhaseParallelFanout)
+	verdicts := make([]*cq.Query, len(covers))
+	if par > len(covers) {
+		par = len(covers)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(covers) {
+					return
+				}
+				verdicts[i] = v.verifyConcurrent(tr, covers[i])
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	out := covers[:0]
+	for i, c := range covers {
+		if verdicts[i] != nil {
+			out = append(out, c)
+			if maxAccepted > 0 && len(out) >= maxAccepted {
+				break
+			}
+		}
+	}
+	return out
 }
 
 // memberFallbackLimit caps how many member combinations are tried per
@@ -312,14 +448,50 @@ const memberFallbackLimit = 64
 // call site — two extra allocations per run even with tracing off.
 func (v *verifier) verify(tr *obs.Tracer, cover []int) (*cq.Query, bool) {
 	key := coverKey(cover)
-	if p, done := v.ok[key]; done {
+	if p, done := v.lookup(key); done {
 		return p, p != nil
 	}
 	sp := tr.Start(obs.PhaseVerify)
+	p := v.check(tr, cover)
+	v.store(key, p)
+	sp.End()
+	return p, p != nil
+}
+
+// verifyConcurrent is verify for fanout workers: identical caching and
+// verdict, but no tracer spans (counters only, which are atomic). Two
+// workers may race to verify the same key; verification is deterministic,
+// so either write stores the same verdict.
+func (v *verifier) verifyConcurrent(tr *obs.Tracer, cover []int) *cq.Query {
+	key := coverKey(cover)
+	if p, done := v.lookup(key); done {
+		return p
+	}
+	p := v.check(tr, cover)
+	v.store(key, p)
+	return p
+}
+
+func (v *verifier) lookup(key string) (*cq.Query, bool) {
+	v.mu.Lock()
+	p, done := v.ok[key]
+	v.mu.Unlock()
+	return p, done
+}
+
+func (v *verifier) store(key string, p *cq.Query) {
+	v.mu.Lock()
+	v.ok[key] = p
+	v.mu.Unlock()
+}
+
+// check decides one cover: the representative combination first, then the
+// bounded member fallback. It returns the verified rewriting or nil.
+func (v *verifier) check(tr *obs.Tracer, cover []int) *cq.Query {
 	tr.Add(obs.CtrVerifyChecks, 1)
-	check := func(tuples []views.Tuple) *cq.Query {
+	try := func(tuples []views.Tuple) *cq.Query {
 		p := views.TuplesAsQuery(v.r.MinimalQuery, tuples)
-		if v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery) {
+		if v.isEquivalent(p) {
 			return p
 		}
 		return nil
@@ -328,11 +500,9 @@ func (v *verifier) verify(tr *obs.Tracer, cover []int) (*cq.Query, bool) {
 	for i, ci := range cover {
 		reps[i] = v.r.Classes[ci].Core.Tuple
 	}
-	if p := check(reps); p != nil {
-		v.ok[key] = p
+	if p := try(reps); p != nil {
 		tr.Add(obs.CtrVerifyAccepted, 1)
-		sp.End()
-		return p, true
+		return p
 	}
 	// Representative combination failed: try other members (bounded).
 	tried := 0
@@ -341,7 +511,7 @@ func (v *verifier) verify(tr *obs.Tracer, cover []int) (*cq.Query, bool) {
 	rec = func(i int) *cq.Query {
 		if i == len(cover) {
 			tried++
-			return check(choice)
+			return try(choice)
 		}
 		for _, m := range v.r.Classes[cover[i]].Members {
 			if tried >= memberFallbackLimit {
@@ -355,12 +525,10 @@ func (v *verifier) verify(tr *obs.Tracer, cover []int) (*cq.Query, bool) {
 		return nil
 	}
 	p := rec(0)
-	v.ok[key] = p
 	if p != nil {
 		tr.Add(obs.CtrVerifyAccepted, 1)
 	}
-	sp.End()
-	return p, p != nil
+	return p
 }
 
 // collect turns accepted covers into the Result's rewriting list. tr is

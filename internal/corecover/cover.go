@@ -37,9 +37,21 @@ func (cs *coverSearch) publish() {
 // accepted by the verifier, each as a sorted slice of set indexes. The
 // verifier may reject covers whose per-tuple mappings cannot be combined
 // into a containment mapping (see the package comment on the Theorem 4.1
-// side condition); passing nil accepts everything. It returns nil if no
-// acceptable cover exists. maxCovers > 0 caps the number returned.
-func (cs *coverSearch) MinimumCovers(maxCovers int, accept func([]int) bool) [][]int {
+// side condition); filter receives each size level's candidate covers in
+// enumeration order and returns the accepted ones, still in order.
+// Passing a nil filter accepts everything. It returns nil if no
+// acceptable cover exists.
+//
+// maxCovers > 0 caps the number returned, and the cap counts accepted
+// covers only: the filter runs before any truncation, so a rejected
+// candidate never displaces an acceptable later cover of the same size.
+// (A filter may truncate to the cap itself once enough covers are
+// accepted — the verifier's sequential path stops verifying there — but
+// it must never drop an accepted cover while unverified candidates
+// remain.) The cap applies within the minimum size level; covers of
+// larger size are never returned, because a size level with at least one
+// accepted cover ends the search.
+func (cs *coverSearch) MinimumCovers(maxCovers int, filter func([][]int) [][]int) [][]int {
 	sp := cs.tracer.Start(obs.PhaseCoverSearch)
 	defer sp.End()
 	defer cs.publish()
@@ -57,8 +69,8 @@ func (cs *coverSearch) MinimumCovers(maxCovers int, accept func([]int) bool) [][
 	for k := 1; k <= maxSize; k++ {
 		covers := cs.coversOfSize(k, 0)
 		cs.st.found += int64(len(covers))
-		if accept != nil {
-			covers = filterCovers(covers, accept)
+		if filter != nil {
+			covers = filter(covers)
 		}
 		if maxCovers > 0 && len(covers) > maxCovers {
 			covers = covers[:maxCovers]
@@ -68,16 +80,6 @@ func (cs *coverSearch) MinimumCovers(maxCovers int, accept func([]int) bool) [][
 		}
 	}
 	return nil
-}
-
-func filterCovers(covers [][]int, accept func([]int) bool) [][]int {
-	out := covers[:0]
-	for _, c := range covers {
-		if accept(c) {
-			out = append(out, c)
-		}
-	}
-	return out
 }
 
 // coverable reports whether the union of all sets covers the universe.

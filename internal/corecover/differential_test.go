@@ -1,0 +1,259 @@
+package corecover
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"viewplan/internal/bucket"
+	"viewplan/internal/cq"
+	"viewplan/internal/minicon"
+	"viewplan/internal/workload"
+)
+
+// testParallelism is the fanout bound the differential tests exercise.
+// The VIEWPLAN_PARALLEL environment hook lets `make check` force a wide
+// pool under the race detector; the default of 8 oversubscribes small
+// machines on purpose, so the parallel path runs even where GOMAXPROCS
+// is 1.
+func testParallelism(tb testing.TB) int {
+	tb.Helper()
+	if s := os.Getenv("VIEWPLAN_PARALLEL"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			tb.Fatalf("bad VIEWPLAN_PARALLEL=%q: %v", s, err)
+		}
+		return n
+	}
+	return 8
+}
+
+// diffCorpus generates the ~200-instance seeded chain/star corpus the
+// differential harness runs on: body sizes 4–6, 6–12 views, with and
+// without a nondistinguished variable. Instances without rewritings stay
+// in the corpus — agreement on "no rewriting exists" is as much a
+// differential verdict as agreement on the rewritings.
+func diffCorpus(t *testing.T) []*workload.Instance {
+	t.Helper()
+	var out []*workload.Instance
+	for _, shape := range []workload.Shape{workload.Star, workload.Chain} {
+		for i := 0; i < 100; i++ {
+			inst, err := workload.Generate(workload.Config{
+				Shape:            shape,
+				QuerySubgoals:    4 + i%3,
+				NumViews:         6 + i%7,
+				Nondistinguished: i % 2,
+				Seed:             int64(1000*int(shape) + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// requireResultsEqual compares every semantically meaningful field of two
+// Results (PlanningStats is timing and may differ).
+func requireResultsEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	fail := func(field string, x, y any) {
+		t.Fatalf("%s: sequential and parallel runs disagree on %s:\n  seq: %v\n  par: %v", label, field, x, y)
+	}
+	if a.Query.String() != b.Query.String() {
+		fail("Query", a.Query, b.Query)
+	}
+	if a.MinimalQuery.String() != b.MinimalQuery.String() {
+		fail("MinimalQuery", a.MinimalQuery, b.MinimalQuery)
+	}
+	if len(a.ViewClasses) != len(b.ViewClasses) {
+		fail("len(ViewClasses)", len(a.ViewClasses), len(b.ViewClasses))
+	}
+	for i := range a.ViewClasses {
+		if len(a.ViewClasses[i]) != len(b.ViewClasses[i]) {
+			fail("ViewClasses", a.ViewClasses[i], b.ViewClasses[i])
+		}
+		for j := range a.ViewClasses[i] {
+			if a.ViewClasses[i][j].Name() != b.ViewClasses[i][j].Name() {
+				fail("ViewClasses", a.ViewClasses[i][j], b.ViewClasses[i][j])
+			}
+		}
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		fail("len(Tuples)", len(a.Tuples), len(b.Tuples))
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i].View.Name() != b.Tuples[i].View.Name() || !a.Tuples[i].Atom.Equal(b.Tuples[i].Atom) {
+			fail("Tuples", a.Tuples[i], b.Tuples[i])
+		}
+	}
+	if len(a.Classes) != len(b.Classes) {
+		fail("len(Classes)", len(a.Classes), len(b.Classes))
+	}
+	for i := range a.Classes {
+		if a.Classes[i].Core.Covered != b.Classes[i].Core.Covered ||
+			len(a.Classes[i].Members) != len(b.Classes[i].Members) {
+			fail("Classes", a.Classes[i], b.Classes[i])
+		}
+		for j := range a.Classes[i].Members {
+			if !a.Classes[i].Members[j].Atom.Equal(b.Classes[i].Members[j].Atom) {
+				fail("Classes members", a.Classes[i].Members[j], b.Classes[i].Members[j])
+			}
+		}
+	}
+	if len(a.Rewritings) != len(b.Rewritings) {
+		fail("len(Rewritings)", a.Rewritings, b.Rewritings)
+	}
+	for i := range a.Rewritings {
+		if a.Rewritings[i].String() != b.Rewritings[i].String() {
+			fail("Rewritings", a.Rewritings[i], b.Rewritings[i])
+		}
+	}
+	if len(a.Covers) != len(b.Covers) {
+		fail("len(Covers)", a.Covers, b.Covers)
+	}
+	for i := range a.Covers {
+		if len(a.Covers[i]) != len(b.Covers[i]) {
+			fail("Covers", a.Covers[i], b.Covers[i])
+		}
+		for j := range a.Covers[i] {
+			if a.Covers[i][j] != b.Covers[i][j] {
+				fail("Covers", a.Covers[i], b.Covers[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelMatchesSequential asserts the tentpole
+// determinism guarantee: for every corpus instance, CoreCover and
+// CoreCover* produce identical Results with Parallelism=1 and
+// Parallelism=N (N from VIEWPLAN_PARALLEL, default 8), including with a
+// rewriting cap, where the parallel path verifies covers speculatively
+// beyond the cap.
+func TestDifferentialParallelMatchesSequential(t *testing.T) {
+	par := testParallelism(t)
+	for _, inst := range diffCorpus(t) {
+		seq, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsEqual(t, "CoreCover "+inst.Query.String(), seq, got)
+
+		seqStar, err := CoreCoverStar(inst.Query, inst.Views, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStar, err := CoreCoverStar(inst.Query, inst.Views, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsEqual(t, "CoreCoverStar "+inst.Query.String(), seqStar, gotStar)
+
+		seqCap, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: 1, MaxRewritings: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCap, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: par, MaxRewritings: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsEqual(t, "CoreCover(max=1) "+inst.Query.String(), seqCap, gotCap)
+	}
+}
+
+// TestDifferentialAgainstMiniConAndBucket keeps CoreCover honest against
+// the two independent in-tree baselines on the corpus:
+//
+//   - Existence must agree three ways: CoreCover finds an equivalent
+//     rewriting exactly when MiniCon (equivalent-only) does and exactly
+//     when the bucket algorithm does.
+//   - Every baseline rewriting is an equivalent rewriting, so its size
+//     bounds the GMR size from above: min baseline size ≥ GMRSize. The
+//     gap is real — MiniCon's MCDs must partition the subgoals, so it
+//     cannot emit the overlapping-cover GMRs CoreCover finds on chains
+//     (Section 4.3) — which is why equality is not asserted.
+//   - Completeness, up to canonical renaming: an equivalent rewriting of
+//     exactly GMR size is itself a GMR, so with grouping disabled (the
+//     baselines know nothing of representatives) every GMR-sized
+//     baseline rewriting must appear in CoreCover's rewriting set, keyed
+//     by cq.CanonicalKey.
+func TestDifferentialAgainstMiniConAndBucket(t *testing.T) {
+	par := testParallelism(t)
+	checked := 0
+	for _, inst := range diffCorpus(t) {
+		res, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := minicon.Rewritings(inst.Query, inst.Views, minicon.Options{EquivalentOnly: true})
+		bk, err := bucket.Rewritings(inst.Query, inst.Views, bucket.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccHas := len(res.Rewritings) > 0
+		if ccHas != (len(mc) > 0) {
+			t.Fatalf("existence disagreement with minicon on %s: corecover=%d minicon=%d",
+				inst.Query, len(res.Rewritings), len(mc))
+		}
+		if ccHas != (len(bk) > 0) {
+			t.Fatalf("existence disagreement with bucket on %s: corecover=%d bucket=%d",
+				inst.Query, len(res.Rewritings), len(bk))
+		}
+		if !ccHas {
+			continue
+		}
+		checked++
+		gmr := res.GMRSize()
+		if m := minBodySize(mc); m < gmr {
+			t.Fatalf("minicon found a smaller equivalent rewriting than the GMR on %s: %d < %d",
+				inst.Query, m, gmr)
+		}
+		if m := minBodySize(bk); m < gmr {
+			t.Fatalf("bucket found a smaller equivalent rewriting than the GMR on %s: %d < %d",
+				inst.Query, m, gmr)
+		}
+
+		ungrouped, err := CoreCover(inst.Query, inst.Views, Options{
+			Parallelism:          par,
+			DisableViewGrouping:  true,
+			DisableTupleGrouping: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ungrouped.GMRSize() != gmr {
+			t.Fatalf("grouping changed the GMR size on %s: grouped %d, ungrouped %d",
+				inst.Query, gmr, ungrouped.GMRSize())
+		}
+		keys := make(map[string]bool, len(ungrouped.Rewritings))
+		for _, p := range ungrouped.Rewritings {
+			keys[cq.CanonicalKey(p)] = true
+		}
+		for _, p := range append(append([]*cq.Query(nil), mc...), bk...) {
+			if len(p.Body) != gmr {
+				continue
+			}
+			if !keys[cq.CanonicalKey(p)] {
+				t.Fatalf("baseline GMR missing from CoreCover's set on %s:\n  %s", inst.Query, p)
+			}
+		}
+	}
+	if checked < 40 {
+		t.Fatalf("corpus too thin: only %d instances had rewritings", checked)
+	}
+}
+
+func minBodySize(ps []*cq.Query) int {
+	m := 1 << 30
+	for _, p := range ps {
+		if len(p.Body) < m {
+			m = len(p.Body)
+		}
+	}
+	return m
+}

@@ -47,6 +47,21 @@ func CanonicalKey(q *Query) string {
 
 const canonicalExactLimit = 16
 
+// ExactCanonicalKey returns CanonicalKey(q) together with whether the key
+// is exact: identical keys imply the queries are the same up to variable
+// renaming and body reordering. Exactness fails when the body exceeds the
+// canonical-labeling cap (the approximate fallback may merge
+// non-isomorphic queries) or when the query carries built-in comparisons
+// (which the key does not encode). Callers that memoize semantic
+// properties by key — the containment hom-cache — must only cache when
+// ok is true.
+func ExactCanonicalKey(q *Query) (key string, ok bool) {
+	if len(q.Body) > canonicalExactLimit || len(q.Comparisons) > 0 {
+		return "", false
+	}
+	return CanonicalKey(q), true
+}
+
 type canonicalizer struct {
 	q        *Query
 	used     []bool

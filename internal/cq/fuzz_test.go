@@ -1,0 +1,81 @@
+package cq
+
+import (
+	"os"
+	"testing"
+)
+
+// fuzzSeeds are hand-picked inputs covering the grammar: comparisons,
+// constants, repeated variables, comments, multi-rule programs, and the
+// usual malformed suspects. The carlocpart.dl testdata file is added as
+// an extra seed by the fuzz targets.
+var fuzzSeeds = []string{
+	"q(X) :- e(X, Y).",
+	"q(X, Y) :- e(X, Z), e(Z, Y)",
+	"q1(S, C) :- car(M, a), loc(a, C), part(S, M, C).",
+	"q(X) :- e(X, X), X > 3.",
+	"q(X) :- e(X, Y), X <= Y, Y != z.",
+	"q('a b', X) :- r(X, 'a b').",
+	"q(X) :- e(X, Y). % trailing comment",
+	"% leading comment\nq(X) :- e(X, Y).",
+	"q() :- e(X).",
+	"q(X) :-",
+	"q(X)",
+	":- e(X, Y).",
+	"q(X) :- .",
+	"q(X) :- e(X,,Y).",
+	"v1(M, D, C) :- car(M, D), loc(D, C).\nv2(S, M, C) :- part(S, M, C).",
+}
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	if data, err := os.ReadFile("../../testdata/carlocpart.dl"); err == nil {
+		f.Add(string(data))
+	}
+}
+
+// FuzzParseQuery asserts the parser never panics, and that printing is a
+// fixpoint: parse → String → parse must succeed and print identically
+// (the printed form is the canonical surface syntax).
+func FuzzParseQuery(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		s := q.String()
+		q2, err := ParseQuery(s)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", s, src, err)
+		}
+		if s2 := q2.String(); s2 != s {
+			t.Fatalf("round-trip not a fixpoint: %q reprints as %q", s, s2)
+		}
+	})
+}
+
+// FuzzParseProgram is the multi-rule analogue of FuzzParseQuery: every
+// rule of an accepted program must round-trip through its printed form.
+func FuzzParseProgram(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		for _, q := range rules {
+			s := q.String()
+			q2, err := ParseQuery(s)
+			if err != nil {
+				t.Fatalf("reparse of rule %q (program %q) failed: %v", s, src, err)
+			}
+			if s2 := q2.String(); s2 != s {
+				t.Fatalf("round-trip not a fixpoint: %q reprints as %q", s, s2)
+			}
+		}
+	})
+}

@@ -16,7 +16,10 @@
 // renaming.
 package cq
 
-import "strings"
+import (
+	"strings"
+	"unicode"
+)
 
 // Term is an argument of an atom: either a Var or a Const. Terms are
 // comparable values, so they can key maps and be compared with ==.
@@ -35,8 +38,30 @@ type Var string
 // digit (quoted constants keep their raw spelling without the quotes).
 type Const string
 
-func (v Var) String() string   { return string(v) }
-func (c Const) String() string { return string(c) }
+func (v Var) String() string { return string(v) }
+
+// String re-quotes spellings that would not reparse as this constant: names
+// that the naming convention would read as variables ('Anderson') and names
+// containing characters outside the bare-identifier alphabet ('a b'), so
+// that parse → print → parse is the identity.
+func (c Const) String() string {
+	if constNeedsQuotes(string(c)) {
+		return "'" + string(c) + "'"
+	}
+	return string(c)
+}
+
+func constNeedsQuotes(name string) bool {
+	if name == "" || NameIsVariable(name) {
+		return true
+	}
+	for _, r := range name {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return true
+		}
+	}
+	return false
+}
 
 func (Var) isTerm()   {}
 func (Const) isTerm() {}

@@ -39,6 +39,11 @@ const (
 	PhaseTupleCores      = "tuple-cores"
 	PhaseCoverSearch     = "cover-search"
 	PhaseVerify          = "verify"
+	// PhaseParallelFanout wraps a region where the planner fans work out
+	// across its worker pool (per-view tuple computation, batched cover
+	// verification). Workers never open spans themselves — the coordinator
+	// owns the span and workers report through atomic counters only.
+	PhaseParallelFanout = "parallel-fanout"
 	PhaseAssemble        = "assemble"
 	PhaseM2Optimizer     = "m2-optimizer"
 	PhaseM3Optimizer     = "m3-optimizer"
@@ -86,6 +91,12 @@ const (
 	CtrFilterCandidates
 	// CtrFiltersAdded counts filter literals that lowered the cost.
 	CtrFiltersAdded
+	// CtrHomCacheHit counts containment checks answered from the
+	// hom-memoization cache without a homomorphism search.
+	CtrHomCacheHit
+	// CtrHomCacheMiss counts containment checks that fell through the
+	// cache to a real search (including uncacheable queries).
+	CtrHomCacheMiss
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -109,6 +120,8 @@ var counterNames = [NumCounters]string{
 	CtrOptOrders:        "opt_orders",
 	CtrFilterCandidates: "filter_candidates",
 	CtrFiltersAdded:     "filters_added",
+	CtrHomCacheHit:      "hom_cache_hits",
+	CtrHomCacheMiss:     "hom_cache_misses",
 }
 
 // String returns the counter's snake_case snapshot key.

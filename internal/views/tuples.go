@@ -2,6 +2,8 @@ package views
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"viewplan/internal/containment"
 	"viewplan/internal/cq"
@@ -60,24 +62,72 @@ func (t Tuple) Expansion(gen *cq.FreshGen) (body []cq.Atom, existentials []cq.Va
 // already be minimized; callers that start from a raw query minimize
 // first (CoreCover step 1).
 func ComputeTuples(q *cq.Query, s *Set) []Tuple {
+	return ComputeTuplesN(q, s, 1)
+}
+
+// ComputeTuplesN is ComputeTuples with the per-view homomorphism
+// enumeration fanned out across a bounded worker pool. Views are
+// independent — each view's tuples come from evaluating its definition
+// alone over the shared, read-only canonical database — so workers claim
+// view indexes and the results are concatenated in view order, making the
+// output identical to the sequential path for every parallelism setting.
+// parallelism <= 1 runs inline with no goroutines or synchronization.
+func ComputeTuplesN(q *cq.Query, s *Set, parallelism int) []Tuple {
 	db := containment.FreezeQuery(q)
-	var out []Tuple
-	for _, v := range s.Views {
-		for _, frozen := range db.Evaluate(v.Def) {
-			thawed := db.ThawAtom(frozen)
-			dup := false
-			for _, prev := range out {
-				if prev.View == v && prev.Atom.Equal(thawed) {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				out = append(out, Tuple{View: v, Atom: thawed})
-			}
+	if parallelism > len(s.Views) {
+		parallelism = len(s.Views)
+	}
+	if parallelism <= 1 {
+		var out []Tuple
+		for _, v := range s.Views {
+			out = appendViewTuples(out, db, v)
 		}
+		return out
+	}
+	perView := make([][]Tuple, len(s.Views))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.Views) {
+					return
+				}
+				perView[i] = appendViewTuples(nil, db, s.Views[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Tuple
+	for _, ts := range perView {
+		out = append(out, ts...)
 	}
 	return out
+}
+
+// appendViewTuples appends one view's deduplicated tuples to dst.
+// Duplicates can only arise within a single view (distinct views yield
+// distinct Tuple.View pointers), so deduplication scans only the entries
+// appended for this view.
+func appendViewTuples(dst []Tuple, db *containment.CanonicalDB, v *View) []Tuple {
+	start := len(dst)
+	for _, frozen := range db.Evaluate(v.Def) {
+		thawed := db.ThawAtom(frozen)
+		dup := false
+		for _, prev := range dst[start:] {
+			if prev.Atom.Equal(thawed) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, Tuple{View: v, Atom: thawed})
+		}
+	}
+	return dst
 }
 
 // TuplesAsQuery builds a rewriting candidate from view tuples: the head of

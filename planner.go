@@ -21,6 +21,10 @@ type PlanRequest struct {
 	// MaxRewritings caps the rewritings considered (0 = all minimal
 	// rewritings from CoreCover*).
 	MaxRewritings int
+	// Parallelism bounds the rewriting generator's worker pool (0 =
+	// GOMAXPROCS, 1 = strictly sequential). The chosen plan is identical
+	// for every setting; see Options.Parallelism.
+	Parallelism int
 	// Tracer, when non-nil, observes the whole pipeline — rewriting
 	// generation, join-order optimization, and filter selection — and
 	// PlanResult.Stats carries its snapshot. The tracer is attached to
@@ -62,7 +66,7 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 	if req.Model == 0 {
 		req.Model = M2
 	}
-	opts := corecover.Options{MaxRewritings: req.MaxRewritings, Tracer: req.Tracer}
+	opts := corecover.Options{MaxRewritings: req.MaxRewritings, Parallelism: req.Parallelism, Tracer: req.Tracer}
 	if req.Tracer != nil && db != nil {
 		prev := db.Tracer()
 		db.SetTracer(req.Tracer)

@@ -1,8 +1,14 @@
 #!/bin/sh
 # check.sh — fast pre-commit gate: vet everything, then run the
-# observability and planner-core tests with the race detector (the obs
-# counters are the only shared mutable state on the hot path, so these
-# are the packages where a data race would hide).
+# observability, planner-core, and view-tuple tests with the race
+# detector (the obs counters, the hom cache, and the parallel fanout
+# are the only shared mutable state on the hot path, so these are the
+# packages where a data race would hide), and finish with a short fuzz
+# smoke of the cq parser.
+#
+# VIEWPLAN_PARALLEL=8 forces the differential tests to drive the
+# parallel planner paths with a wide worker pool even on small machines,
+# so the race detector actually sees concurrent schedules.
 #
 # Usage: ./scripts/check.sh   (or: make check)
 set -eu
@@ -11,7 +17,11 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./internal/obs/... ./internal/corecover/..."
-go test -race ./internal/obs/... ./internal/corecover/...
+echo "== go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/... (VIEWPLAN_PARALLEL=8)"
+VIEWPLAN_PARALLEL=8 go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/...
+
+echo "== fuzz smoke: cq parser round-trips (10s each)"
+go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=10s ./internal/cq
+go test -run='^$' -fuzz=FuzzParseProgram -fuzztime=10s ./internal/cq
 
 echo "check: OK"

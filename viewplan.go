@@ -20,6 +20,19 @@
 //	    fmt.Println(p) // q(S, C) :- v1(M, a, C), v2(S, M, C)
 //	}
 //
+// # Parallelism
+//
+// The rewriting generator fans its two hot phases — per-view tuple
+// computation and per-cover verification — across a bounded worker pool.
+// Options.Parallelism (and PlanRequest.Parallelism) set the bound: 0
+// sizes the pool to GOMAXPROCS, 1 runs strictly sequentially with no
+// goroutines. Every setting produces an identical Result — workers
+// collect into index-addressed slots and the pipeline reassembles them
+// deterministically — so parallelism is purely a latency knob. Repeated
+// containment checks inside verification are memoized in a per-run,
+// worker-shared cache; the hom_cache_hits / hom_cache_misses counters in
+// PlanningStats report its effectiveness.
+//
 // # Observability
 //
 // The planner is instrumented end to end. Every Result returned by
