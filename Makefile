@@ -1,10 +1,12 @@
 # viewplan build targets. `make check` is the fast pre-commit gate
 # (vet + race-enabled obs/corecover tests); `make test` is the full
-# suite; `make bench` runs the paper's table/figure benchmarks.
+# suite; `make bench` runs the engine allocation gate (Fig. 6a M2
+# planning, allocs/op diffed against scripts/bench_engine_baseline.txt,
+# >10% regression fails); `make benchall` runs every benchmark.
 
 GO ?= go
 
-.PHONY: build test check bench vet
+.PHONY: build test check bench benchall vet
 
 build:
 	$(GO) build ./...
@@ -19,4 +21,7 @@ vet:
 	$(GO) vet ./...
 
 bench:
+	./scripts/bench_engine.sh
+
+benchall:
 	$(GO) test -bench=. -benchmem -run=^$$ .

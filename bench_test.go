@@ -351,6 +351,70 @@ func BenchmarkBaselineBucket(b *testing.B) {
 	}
 }
 
+// m2PlanFixture materializes a Figure 6(a) star instance's views over
+// synthetic base data (100 rows per relation, 100-value domain: star-join
+// fan-out near 1) for the end-to-end M2/M3 planning benchmarks.
+func m2PlanFixture(b *testing.B, numViews int) (*viewplan.Database, *workload.Instance) {
+	b.Helper()
+	inst := benchInstance(b, workload.Config{
+		Shape:         workload.Star,
+		QuerySubgoals: 8,
+		NumViews:      numViews,
+		Seed:          42,
+	})
+	db := viewplan.NewDatabase()
+	gen := engine.NewDataGen(1, 100)
+	gen.FillForQuery(db, inst.Query, 100)
+	if err := db.MaterializeViews(inst.Views); err != nil {
+		b.Fatal(err)
+	}
+	return db, inst
+}
+
+// The M2 cost search on the Figure 6(a) star workload: CoreCover*
+// rewriting generation plus the engine-backed subset-lattice optimizer
+// and filter selection, end to end. The candidate count is capped (the
+// per-candidate engine work is what is being measured; uncapped counts
+// grow super-linearly in the view count and only repeat it). This is the
+// engine-heavy benchmark the `make bench` regression gate watches
+// (scripts/bench_engine.sh).
+func BenchmarkFig6aStarM2(b *testing.B) {
+	for _, nv := range []int{100, 200} {
+		b.Run(fmt.Sprintf("views=%d", nv), func(b *testing.B) {
+			db, inst := m2PlanFixture(b, nv)
+			req := viewplan.PlanRequest{Model: viewplan.M2, MaxRewritings: 64}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := viewplan.PlanQuery(db, inst.Query, inst.Views, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res == nil || res.Plan == nil {
+					b.Fatal("no plan")
+				}
+			}
+		})
+	}
+}
+
+// The M3 order search on the same workload (renaming heuristic). Kept at
+// 100 views and a small candidate cap: M3 is factorial in the rewriting
+// body size.
+func BenchmarkFig6aStarM3(b *testing.B) {
+	db, inst := m2PlanFixture(b, 100)
+	req := viewplan.PlanRequest{Model: viewplan.M3, MaxRewritings: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := viewplan.PlanQuery(db, inst.Query, inst.Views, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res == nil || res.Plan == nil {
+			b.Fatal("no plan")
+		}
+	}
+}
+
 // Ablation: M2 subset-DP optimizer vs exhaustive permutations.
 func BenchmarkM2OptimizerDP(b *testing.B) {
 	db, p := m2OptimizerFixture(b)

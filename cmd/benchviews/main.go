@@ -25,10 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"viewplan/internal/corecover"
+	"viewplan/internal/cost"
 	"viewplan/internal/experiments"
 )
 
@@ -43,15 +46,56 @@ func main() {
 		par     = flag.Int("parallel", 1, "planner worker-pool bound inside each CoreCover run: 1 = sequential (the paper's protocol), 0 = GOMAXPROCS; results are identical for every setting")
 		jobs    = flag.Int("jobs", 1, "queries run concurrently per point (1 = sequential); speeds the sweep up without touching per-query times")
 		metrics = flag.String("metrics", "", "write per-run planner metrics (counters, phase times) as JSON to this file")
+		costFl  = flag.String("cost", "", "additionally time M2 or M3 planning per query over materialized views (engine counters then appear in -metrics)")
+		capFl   = flag.Int("cap", 0, "cap the rewritings considered per query (0 = all; keeps -cost sweeps bounded)")
+		rows    = flag.Int("rows", 0, "synthetic rows per base relation for -cost runs (default 100)")
+		domain  = flag.Int("domain", 0, "distinct values per column domain for -cost runs (default 100)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (post-sweep, after GC) to this file")
 	)
 	flag.Parse()
-	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par, *jobs, *metrics); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchviews:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchviews:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par, *jobs, *metrics, *costFl, *rows, *domain, *capFl); err != nil {
 		fmt.Fprintln(os.Stderr, "benchviews:", err)
 		os.Exit(1)
 	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchviews:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchviews:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 }
 
-func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel, jobs int, metricsFile string) error {
+func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel, jobs int, metricsFile, costFl string, rows, domain, cap int) error {
+	var costModel cost.Model
+	switch strings.ToLower(costFl) {
+	case "":
+	case "m2":
+		costModel = cost.M2
+	case "m3":
+		costModel = cost.M3
+	default:
+		return fmt.Errorf("bad -cost %q: want m2 or m3", costFl)
+	}
 	var figures []experiments.Figure
 	if fig == "all" {
 		figures = experiments.AllFigures()
@@ -94,9 +138,13 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 		cfg.Seed = seed
 		cfg.Parallelism = jobs
 		cfg.Trace = metricsFile != ""
+		cfg.CostModel = costModel
+		cfg.DataRows = rows
+		cfg.DataDomain = domain
 		if nogroup {
 			cfg.Options = corecover.Options{DisableViewGrouping: true, DisableTupleGrouping: true}
 		}
+		cfg.Options.MaxRewritings = cap
 		// The planner fanout bound is measured per query, so it composes
 		// with -jobs (which only overlaps whole queries).
 		cfg.Options.Parallelism = parallel
@@ -112,6 +160,9 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 			cache[k] = pts
 		}
 		experiments.Render(os.Stdout, f, pts)
+		if costModel != 0 {
+			experiments.RenderPlanning(os.Stdout, costModel, pts)
+		}
 		fmt.Println()
 		if metricsFile != "" {
 			report = append(report, experiments.FigureMetrics{

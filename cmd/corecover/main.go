@@ -42,11 +42,11 @@ import (
 
 // config collects the command-line options run needs.
 type config struct {
-	star    bool   // CoreCover* instead of CoreCover
-	algo    string // corecover, minicon, bucket, naive
-	verbose bool   // print tuples, cores, equivalence classes
-	trace   bool   // print the phase/counter breakdown
-	explain bool   // annotate rewritings with their covers
+	star     bool   // CoreCover* instead of CoreCover
+	algo     string // corecover, minicon, bucket, naive
+	verbose  bool   // print tuples, cores, equivalence classes
+	trace    bool   // print the phase/counter breakdown
+	explain  bool   // annotate rewritings with their covers
 	data     string // fact file enabling cost-based plans
 	model    string // M1, M2, M3
 	maxRW    int    // rewriting cap (0 = all)

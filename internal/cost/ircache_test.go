@@ -1,0 +1,181 @@
+package cost
+
+import (
+	"fmt"
+	"testing"
+
+	"viewplan/internal/corecover"
+	"viewplan/internal/engine"
+	"viewplan/internal/obs"
+	"viewplan/internal/workload"
+)
+
+// ircacheFixture materializes a random instance and returns every
+// rewriting CoreCover* finds (capped), so cached and uncached planning
+// can be compared across the whole candidate set.
+func ircacheFixture(t *testing.T, shape workload.Shape, subgoals int, seed int64) (*engine.Database, *workload.Instance, []*corecover.Result) {
+	t.Helper()
+	inst, err := workload.Generate(workload.Config{
+		Shape:         shape,
+		QuerySubgoals: subgoals,
+		NumViews:      20,
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := corecover.CoreCoverStar(inst.Query, inst.Views, corecover.Options{MaxRewritings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) == 0 {
+		return nil, inst, nil
+	}
+	db := engine.NewDatabase()
+	gen := engine.NewDataGen(seed+13, 10)
+	gen.FillForQuery(db, inst.Query, 60)
+	if err := db.MaterializeViews(inst.Views); err != nil {
+		t.Fatal(err)
+	}
+	return db, inst, []*corecover.Result{res}
+}
+
+// The IR cache is an invisible optimization: plans found with a cache
+// attached must render byte-identically to plans found without one,
+// across every rewriting of randomized star and chain instances, under
+// both M2 and M3.
+func TestIRCachePlansByteIdentical(t *testing.T) {
+	shapes := []workload.Shape{workload.Star, workload.Chain}
+	anyHits := false
+	for _, shape := range shapes {
+		for seed := int64(1); seed <= 6; seed++ {
+			db, inst, results := ircacheFixture(t, shape, 4, seed)
+			if results == nil {
+				continue
+			}
+			res := results[0]
+
+			type rendered struct {
+				s, tree string
+				cost    int
+			}
+			render := func() []rendered {
+				var out []rendered
+				for _, p := range res.Rewritings {
+					m2, err := BestPlanM2(db, p)
+					if err != nil {
+						t.Fatalf("seed %d: BestPlanM2: %v", seed, err)
+					}
+					out = append(out, rendered{m2.String(), m2.Tree(), m2.Cost})
+					if len(p.Body) <= 4 {
+						for _, strategy := range []DropStrategy{SupplementaryRelations, RenamingHeuristic} {
+							m3, err := BestPlanM3(db, p, strategy, inst.Query, inst.Views)
+							if err != nil {
+								t.Fatalf("seed %d: BestPlanM3: %v", seed, err)
+							}
+							out = append(out, rendered{m3.String(), m3.Tree(), m3.Cost})
+						}
+					}
+				}
+				return out
+			}
+
+			uncached := render()
+
+			tr := obs.New()
+			db.SetTracer(tr)
+			db.SetIRCache(engine.NewIRCache())
+			cached := render()
+			db.SetIRCache(nil)
+			db.SetTracer(nil)
+
+			if len(uncached) != len(cached) {
+				t.Fatalf("seed %d: plan count %d vs %d", seed, len(uncached), len(cached))
+			}
+			for i := range uncached {
+				if uncached[i] != cached[i] {
+					t.Errorf("%v seed %d plan %d differs with IR cache:\n--- uncached ---\n%s\n--- cached ---\n%s",
+						shape, seed, i, uncached[i].tree, cached[i].tree)
+				}
+			}
+			if tr.Counter(obs.CtrIRCacheHit) > 0 {
+				anyHits = true
+			}
+		}
+	}
+	if !anyHits {
+		t.Error("no IR-cache hits across the whole corpus; cache is not being exercised")
+	}
+}
+
+// A database mutation between planning runs must invalidate the cache:
+// the second run has to see the new rows, not yesterday's IRs.
+func TestIRCacheInvalidatedByInsert(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		db, _, results := ircacheFixture(t, workload.Star, 4, seed)
+		if results == nil {
+			continue
+		}
+		p := results[0].Rewritings[0]
+		db.SetIRCache(engine.NewIRCache())
+		if _, err := BestPlanM2(db, p); err != nil {
+			t.Fatal(err)
+		}
+		// Grow the first view relation used by the rewriting with rows
+		// matching on every column, then replan with the same cache.
+		rel := db.Relation(p.Body[0].Pred)
+		if rel == nil {
+			t.Fatalf("seed %d: no relation %q", seed, p.Body[0].Pred)
+		}
+		for i := 0; i < 20; i++ {
+			row := make(engine.Tuple, rel.Arity)
+			for j := range row {
+				row[j] = engine.Value(fmt.Sprintf("c%d", i%5))
+			}
+			rel.Insert(row)
+		}
+		stale, err := BestPlanM2(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.SetIRCache(nil)
+		fresh, err := BestPlanM2(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stale.Tree() != fresh.Tree() || stale.Cost != fresh.Cost {
+			t.Fatalf("seed %d: plan after insert differs from uncached plan:\n--- with cache ---\n%s\n--- without ---\n%s",
+				seed, stale.Tree(), fresh.Tree())
+		}
+		return // one instance with rewritings suffices
+	}
+	t.Skip("no instance with rewritings found")
+}
+
+// Planning several rewritings of one query against a shared cache must
+// reuse intermediate relations across candidates — the whole point of
+// cross-rewriting memoization.
+func TestIRCacheSharesAcrossRewritings(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		db, _, results := ircacheFixture(t, workload.Star, 4, seed)
+		if results == nil || len(results[0].Rewritings) < 2 {
+			continue
+		}
+		tr := obs.New()
+		db.SetTracer(tr)
+		db.SetIRCache(engine.NewIRCache())
+		for _, p := range results[0].Rewritings {
+			if _, err := BestPlanM2(db, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.SetIRCache(nil)
+		db.SetTracer(nil)
+		if hits := tr.Counter(obs.CtrIRCacheHit); hits == 0 {
+			t.Logf("seed %d: no cross-candidate hits (rewritings may share no subgoal sets)", seed)
+			continue
+		}
+		return
+	}
+	t.Skip("no instance produced cross-candidate cache hits")
+}

@@ -2,11 +2,66 @@ package cost
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"viewplan/internal/cq"
 	"viewplan/internal/engine"
 	"viewplan/internal/obs"
 )
+
+// maskKeyer builds canonical IR-cache keys for subgoal subsets of one
+// rewriting body. Because an M2 intermediate relation retains all
+// attributes, it is determined by the *set* of subgoals joined so far,
+// so the key is the sorted list of subgoal atom strings — identical
+// across join orders and across rewritings sharing view tuples.
+type maskKeyer struct {
+	atoms  []string // atom string per body index
+	sorted []int    // body indices ordered by atom string
+}
+
+func newMaskKeyer(body []cq.Atom) *maskKeyer {
+	k := &maskKeyer{atoms: make([]string, len(body)), sorted: identityOrder(len(body))}
+	for i, a := range body {
+		k.atoms[i] = a.String()
+	}
+	sort.Slice(k.sorted, func(i, j int) bool { return k.atoms[k.sorted[i]] < k.atoms[k.sorted[j]] })
+	return k
+}
+
+func (k *maskKeyer) key(mask int) string {
+	var b strings.Builder
+	b.WriteString("m2")
+	for _, i := range k.sorted {
+		if mask&(1<<uint(i)) != 0 {
+			b.WriteByte(0)
+			b.WriteString(k.atoms[i])
+		}
+	}
+	return b.String()
+}
+
+// joinStepCached materializes the join of cur with body[g] through the
+// database's IR cache under the canonical key for mask (the subgoal set
+// including g). The reused relation's schema is forced to exactly what
+// JoinStep would produce, so plans built from cached relations render
+// byte-identically to uncached ones.
+func joinStepCached(db *engine.Database, keyer *maskKeyer, mask int, cur *engine.VarRelation, atom cq.Atom) (*engine.VarRelation, error) {
+	if keyer == nil || db.IRCache() == nil {
+		return db.JoinStep(cur, atom, nil)
+	}
+	key := keyer.key(mask)
+	want := engine.JoinSchema(cur.Schema, atom)
+	if vr, ok := db.IRLookup(key, want); ok {
+		return vr, nil
+	}
+	vr, err := db.JoinStep(cur, atom, nil)
+	if err != nil {
+		return nil, err
+	}
+	db.IRStore(key, vr)
+	return vr, nil
+}
 
 // PlanM2 simulates the M2 physical plan of rewriting p that joins the
 // subgoals in the given order, retaining all attributes (IR_i), and
@@ -25,9 +80,15 @@ func PlanM2(db *engine.Database, p *cq.Query, order []int) (*Plan, error) {
 		return nil, err
 	}
 	plan := &Plan{Model: M2, Rewriting: p.Clone(), Order: append([]int(nil), order...)}
+	var keyer *maskKeyer
+	if db.IRCache() != nil {
+		keyer = newMaskKeyer(p.Body)
+	}
 	cur := engine.UnitVarRelation()
+	mask := 0
 	for _, idx := range order {
-		cur, err = db.JoinStep(cur, p.Body[idx], nil)
+		mask |= 1 << uint(idx)
+		cur, err = joinStepCached(db, keyer, mask, cur, p.Body[idx])
 		if err != nil {
 			return nil, err
 		}
@@ -78,6 +139,10 @@ func BestPlanM2(db *engine.Database, p *cq.Query) (*Plan, error) {
 
 	total := 1 << uint(n)
 	full := total - 1
+	var keyer *maskKeyer
+	if db.IRCache() != nil {
+		keyer = newMaskKeyer(p.Body)
+	}
 	rels := make([]*engine.VarRelation, total)
 	rels[0] = engine.UnitVarRelation()
 	const inf = int(^uint(0) >> 1)
@@ -110,7 +175,7 @@ func BestPlanM2(db *engine.Database, p *cq.Query) (*Plan, error) {
 				continue
 			}
 			if rels[next] == nil {
-				rels[next], err = db.JoinStep(rels[cur.mask], p.Body[g], nil)
+				rels[next], err = joinStepCached(db, keyer, next, rels[cur.mask], p.Body[g])
 				if err != nil {
 					return nil, err
 				}

@@ -2,6 +2,7 @@ package cost
 
 import (
 	"fmt"
+	"strings"
 
 	"viewplan/internal/cq"
 	"viewplan/internal/engine"
@@ -123,15 +124,44 @@ func PlanM3(db *engine.Database, p *cq.Query, order []int, drops [][]cq.Var) (*P
 	plan := &Plan{Model: M3, Rewriting: p.Clone(), Order: append([]int(nil), order...)}
 	cur := engine.UnitVarRelation()
 	retained := make(cq.VarSet)
+	// Generalized supplementary relations are history-dependent (once a
+	// variable is dropped, a later occurrence rebinds freshly), so the
+	// IR-cache key is the ordered chain of (subgoal, retained variables)
+	// — only plans sharing an identical prefix reuse a GSR, which the
+	// n! orders of BestPlanM3 do constantly.
+	useCache := db.IRCache() != nil
+	chainKey := "m3"
 	for step, idx := range order {
 		p.Body[idx].Vars(retained)
 		for _, v := range drops[step] {
 			delete(retained, v)
 		}
 		keep := retained.Sorted()
-		cur, err = db.JoinStep(cur, p.Body[idx], keep)
-		if err != nil {
-			return nil, err
+		if useCache {
+			var b strings.Builder
+			b.WriteString(chainKey)
+			b.WriteByte(0)
+			b.WriteString(p.Body[idx].String())
+			b.WriteByte(1)
+			for _, v := range keep {
+				b.WriteString(string(v))
+				b.WriteByte(2)
+			}
+			chainKey = b.String()
+			if vr, ok := db.IRLookup(chainKey, engine.Schema(keep)); ok {
+				cur = vr
+			} else {
+				cur, err = db.JoinStep(cur, p.Body[idx], keep)
+				if err != nil {
+					return nil, err
+				}
+				db.IRStore(chainKey, cur)
+			}
+		} else {
+			cur, err = db.JoinStep(cur, p.Body[idx], keep)
+			if err != nil {
+				return nil, err
+			}
 		}
 		plan.Steps = append(plan.Steps, Step{
 			Subgoal:    p.Body[idx].Clone(),

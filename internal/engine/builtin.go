@@ -47,16 +47,17 @@ func FilterComparisons(vr *VarRelation, comps []cq.Comparison) (*VarRelation, er
 		}
 		checks[i] = check{op: c.Op, l: l, r: r}
 	}
-	out := NewVarRelation(vr.Schema)
-	for _, row := range vr.Rows() {
+	out := newVarRelationIn(vr.Schema, vr.in)
+	for i := 0; i < vr.n; i++ {
+		row := vr.irow(i)
 		ok := true
 		for _, ch := range checks {
 			lv, rv := ch.l.val, ch.r.val
 			if ch.l.col >= 0 {
-				lv = row[ch.l.col]
+				lv = vr.in.Value(row[ch.l.col])
 			}
 			if ch.r.col >= 0 {
-				rv = row[ch.r.col]
+				rv = vr.in.Value(row[ch.r.col])
 			}
 			if !cq.CompareValues(ch.op, lv, rv) {
 				ok = false
@@ -64,7 +65,7 @@ func FilterComparisons(vr *VarRelation, comps []cq.Comparison) (*VarRelation, er
 			}
 		}
 		if ok {
-			out.Insert(row)
+			out.insertIDs(row)
 		}
 	}
 	return out, nil

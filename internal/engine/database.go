@@ -11,15 +11,22 @@ import (
 )
 
 // Database is a collection of named relations: the base relations plus any
-// materialized views.
+// materialized views. All its relations share one symbol table (Interner),
+// so the join kernel compares and hashes dense integer ids instead of
+// strings. gen counts row inserts across the database; the IR cache uses
+// it to detect staleness.
 type Database struct {
 	rels   map[string]*Relation
 	tracer *obs.Tracer
+	in     *Interner
+	gen    uint64
+	ir     *IRCache
+	strict bool
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{rels: make(map[string]*Relation)}
+	return &Database{rels: make(map[string]*Relation), in: NewInterner()}
 }
 
 // SetTracer attaches an observability tracer: join steps count work
@@ -32,6 +39,24 @@ func (db *Database) SetTracer(tr *obs.Tracer) { db.tracer = tr }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (db *Database) Tracer() *obs.Tracer { return db.tracer }
+
+// SetStrictPredicates controls how JoinStep treats subgoals over
+// predicates the database has no relation for. By default they join as
+// empty relations (with an unknown_predicates counter tick and trace
+// event); in strict mode JoinStep returns an *UnknownPredicateError
+// instead, so a misnamed view fails loudly rather than yielding zero
+// rows.
+func (db *Database) SetStrictPredicates(strict bool) { db.strict = strict }
+
+// UnknownPredicateError reports a join over a predicate with no relation
+// in the database — typically a misnamed or unmaterialized view.
+type UnknownPredicateError struct {
+	Pred string
+}
+
+func (e *UnknownPredicateError) Error() string {
+	return fmt.Sprintf("engine: unknown predicate %q (misnamed or unmaterialized view?)", e.Pred)
+}
 
 // Relation returns the named relation, or nil.
 func (db *Database) Relation(name string) *Relation { return db.rels[name] }
@@ -46,10 +71,10 @@ func (db *Database) Names() []string {
 	return out
 }
 
-// Create adds an empty relation, replacing any existing one of the same
-// name.
+// Create adds an empty relation sharing the database's symbol table,
+// replacing any existing relation of the same name.
 func (db *Database) Create(name string, arity int) *Relation {
-	r := NewRelation(name, arity)
+	r := newRelationIn(name, arity, db.in, &db.gen)
 	db.rels[name] = r
 	return r
 }
@@ -141,7 +166,7 @@ func (db *Database) Evaluate(q *cq.Query) (*Relation, error) {
 			return nil, err
 		}
 	}
-	out := NewRelation(q.Name(), q.Head.Arity())
+	out := newRelationIn(q.Name(), q.Head.Arity(), db.in, &db.gen)
 	cols := make([]int, len(q.Head.Args))
 	consts := make([]Value, len(q.Head.Args))
 	for i, arg := range q.Head.Args {
@@ -156,6 +181,28 @@ func (db *Database) Evaluate(q *cq.Query) (*Relation, error) {
 			cols[i] = -1
 			consts[i] = a
 		}
+	}
+	if vr.in == db.in {
+		// Fast path: copy ids straight through, no string round-trip.
+		buf := make([]uint32, len(cols))
+		constIDs := make([]uint32, len(cols))
+		for i, c := range cols {
+			if c < 0 {
+				constIDs[i] = db.in.ID(consts[i])
+			}
+		}
+		for ri := 0; ri < vr.n; ri++ {
+			row := vr.irow(ri)
+			for i, c := range cols {
+				if c < 0 {
+					buf[i] = constIDs[i]
+				} else {
+					buf[i] = row[c]
+				}
+			}
+			out.insertIDs(buf)
+		}
+		return out, nil
 	}
 	for _, row := range vr.Rows() {
 		t := make(Tuple, len(cols))
@@ -223,17 +270,55 @@ func (db *Database) greedyOrder(body []cq.Atom) []int {
 	return out
 }
 
+// JoinSchema returns the schema JoinStep produces before any retain
+// projection: cur's columns followed by the atom's new variables in
+// first-occurrence order. It is exported so the cost optimizers can
+// predict a join's schema when reusing a cached intermediate relation.
+func JoinSchema(cur Schema, atom cq.Atom) Schema {
+	out := append(Schema(nil), cur...)
+	seen := make(map[cq.Var]bool)
+	for _, arg := range atom.Args {
+		v, ok := arg.(cq.Var)
+		if !ok || seen[v] {
+			continue
+		}
+		seen[v] = true
+		if cur.IndexOf(v) < 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // JoinStep joins the current intermediate relation with one subgoal's
 // relation: a hash join on the variables shared between the intermediate
 // schema and the atom, with constant and repeated-variable positions of
 // the atom checked on the fly. If retain is non-nil the result is
 // projected onto those variables (set semantics); otherwise every
 // variable of the current schema plus the atom's new variables is kept.
-// Unknown predicates join as empty relations.
+// Unknown predicates join as empty relations (or error in strict mode;
+// see SetStrictPredicates).
+//
+// The kernel runs entirely on interned rows: the build side is the
+// relation's cached integer index on the join columns, the probe side
+// packs each left row's join values into a machine word (or a reused
+// byte buffer beyond two columns), and output rows are assembled in one
+// reused buffer that the set-semantics insert copies only when the row
+// is new.
 func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*VarRelation, error) {
-	rel := db.Relation(atom.Pred)
+	tr := db.tracer
+	sp := tr.Start(obs.PhaseEngineJoin)
+	defer sp.End()
+	rel := db.rels[atom.Pred]
 	if rel == nil {
-		rel = NewRelation(atom.Pred, atom.Arity())
+		tr.Add(obs.CtrUnknownPreds, 1)
+		if tr.HasSink() {
+			tr.Event("unknown-predicate", slog.String("subgoal", atom.String()))
+		}
+		if db.strict {
+			return nil, &UnknownPredicateError{Pred: atom.Pred}
+		}
+		rel = newRelationIn(atom.Pred, atom.Arity(), db.in, nil)
 	}
 	if rel.Arity != atom.Arity() {
 		return nil, fmt.Errorf("engine: subgoal %s has arity %d, relation has %d", atom, atom.Arity(), rel.Arity)
@@ -264,55 +349,90 @@ func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*
 		}
 	}
 
-	// rowMatches checks constants and repeated variables of the atom.
-	rowMatches := func(row Tuple) bool {
-		for i, arg := range atom.Args {
-			switch a := arg.(type) {
-			case cq.Const:
-				if row[i] != a {
-					return false
-				}
-			case cq.Var:
-				if row[i] != row[firstPos[a]] {
-					return false
-				}
+	// Compile the residual per-row checks: constant positions and
+	// repeated variables. A constant the database has never interned
+	// cannot occur in any stored row, so the join is empty.
+	type constCheck struct {
+		pos int
+		id  uint32
+	}
+	type repCheck struct {
+		pos, first int
+	}
+	var constChecks []constCheck
+	var repChecks []repCheck
+	impossible := false
+	for i, arg := range atom.Args {
+		switch a := arg.(type) {
+		case cq.Const:
+			id, known := db.in.Lookup(a)
+			if !known {
+				impossible = true
+			} else {
+				constChecks = append(constChecks, constCheck{i, id})
+			}
+		case cq.Var:
+			if f := firstPos[a]; f != i {
+				repChecks = append(repChecks, repCheck{i, f})
 			}
 		}
-		return true
 	}
 
-	// Probe the relation's cached hash index on the join positions;
-	// constant and repeated-variable checks run per candidate row so the
-	// index is reusable across atoms with different filters.
-	index := rel.IndexOn(joinCols)
-
-	outSchema := append(Schema(nil), cur.Schema...)
-	for _, nv := range newVars {
-		outSchema = append(outSchema, nv.v)
-	}
-	out := NewVarRelation(outSchema)
-	probe := make(Tuple, len(curCols))
-	for _, left := range cur.Rows() {
-		for k, c := range curCols {
-			probe[k] = left[c]
+	outSchema := JoinSchema(cur.Schema, atom)
+	out := newVarRelationIn(outSchema, db.in)
+	probed := 0
+	if !impossible && rel.n > 0 && cur.n > 0 {
+		// The probe side must speak the database's symbol table; left
+		// relations built by the kernel already do, standalone ones (the
+		// unit relation, test fixtures) are translated once.
+		w := len(cur.Schema)
+		data := cur.data
+		if cur.in != db.in {
+			data = make([]uint32, len(cur.data))
+			for i, id := range cur.data {
+				data[i] = db.in.ID(cur.in.Value(id))
+			}
 		}
-		for _, right := range index[probe.Key()] {
-			if !rowMatches(right) {
+		index := rel.indexFor(joinCols)
+		probeKey := make([]uint32, len(curCols))
+		rowBuf := make([]uint32, len(outSchema))
+		for li := 0; li < cur.n; li++ {
+			left := data[li*w : li*w+w]
+			for k, c := range curCols {
+				probeKey[k] = left[c]
+			}
+			bucket := index.bucket(probeKey)
+			if len(bucket) == 0 {
 				continue
 			}
-			row := make(Tuple, 0, len(outSchema))
-			row = append(row, left...)
-			for _, nv := range newVars {
-				row = append(row, right[nv.first])
+			probed += len(bucket)
+			copy(rowBuf, left)
+		probe:
+			for _, ri := range bucket {
+				right := rel.irow(int(ri))
+				for _, cc := range constChecks {
+					if right[cc.pos] != cc.id {
+						continue probe
+					}
+				}
+				for _, rc := range repChecks {
+					if right[rc.pos] != right[rc.first] {
+						continue probe
+					}
+				}
+				for j, nv := range newVars {
+					rowBuf[w+j] = right[nv.first]
+				}
+				out.insertIDs(rowBuf)
 			}
-			out.Insert(row)
 		}
 	}
-	if db.tracer != nil {
-		db.tracer.Add(obs.CtrJoinSteps, 1)
-		db.tracer.Add(obs.CtrJoinRows, int64(out.Size()))
-		if db.tracer.HasSink() {
-			db.tracer.Event("join-step",
+	if tr != nil {
+		tr.Add(obs.CtrJoinSteps, 1)
+		tr.Add(obs.CtrJoinRows, int64(out.Size()))
+		tr.Add(obs.CtrJoinProbeRows, int64(probed))
+		if tr.HasSink() {
+			tr.Event("join-step",
 				slog.String("subgoal", atom.String()),
 				slog.Int("view_rows", rel.Size()),
 				slog.Int("intermediate_rows", out.Size()),

@@ -18,6 +18,8 @@ type DataGen struct {
 	// Skew in [0, 1): 0 is uniform; larger values concentrate probability
 	// on low-numbered domain values.
 	Skew float64
+
+	vals []Value // memoized domain value strings, indexed by domain value
 }
 
 // NewDataGen creates a generator with the given seed and domain size.
@@ -42,7 +44,16 @@ func (g *DataGen) Value() Value {
 			i = n - 1
 		}
 	}
-	return Value("c" + strconv.Itoa(i))
+	return g.domainValue(i)
+}
+
+// domainValue memoizes the value strings so filling many relations does
+// not re-build "c<i>" per cell.
+func (g *DataGen) domainValue(i int) Value {
+	for len(g.vals) <= i {
+		g.vals = append(g.vals, Value("c"+strconv.Itoa(len(g.vals))))
+	}
+	return g.vals[i]
 }
 
 func powSkew(u, skew float64) float64 {
@@ -58,8 +69,10 @@ func (g *DataGen) Fill(db *Database, name string, arity, rows int) {
 	if r == nil {
 		r = db.Create(name, arity)
 	}
+	// Insert interns the values and never retains t, so one scratch
+	// tuple serves the whole fill.
+	t := make(Tuple, arity)
 	for i := 0; i < rows; i++ {
-		t := make(Tuple, arity)
 		for j := range t {
 			t[j] = g.Value()
 		}

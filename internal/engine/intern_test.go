@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/obs"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	ids := make(map[uint32]bool)
+	for _, v := range []Value{"a", "b", "", "a", "c", "b"} {
+		id := in.ID(v)
+		if got := in.Value(id); got != v {
+			t.Errorf("Value(ID(%q)) = %q", v, got)
+		}
+		ids[id] = true
+	}
+	if in.Len() != 4 || len(ids) != 4 {
+		t.Errorf("interned %d symbols over %d ids, want 4", in.Len(), len(ids))
+	}
+	if _, ok := in.Lookup("zzz"); ok {
+		t.Error("Lookup of never-interned value succeeded")
+	}
+	if id, ok := in.Lookup(""); !ok || in.Value(id) != Value("") {
+		t.Error("empty string must intern like any value")
+	}
+}
+
+func TestRowSetWideAndNarrow(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 3, 5} {
+		s := newRowSet(width)
+		row := make([]uint32, width)
+		if !s.add(row) {
+			t.Fatalf("width %d: first add not new", width)
+		}
+		if s.add(row) {
+			t.Fatalf("width %d: duplicate add reported new", width)
+		}
+		if !s.has(row) {
+			t.Fatalf("width %d: has misses inserted row", width)
+		}
+		if width > 0 {
+			row[width-1] = 7
+			if s.has(row) {
+				t.Fatalf("width %d: has matches absent row", width)
+			}
+			if !s.add(row) {
+				t.Fatalf("width %d: distinct row not new", width)
+			}
+		}
+	}
+}
+
+// packNarrow must be collision-free over two full columns: (a, b) and
+// (b, a) pack differently, as do (x, 0) and (0, x).
+func TestPackNarrowCollisionFree(t *testing.T) {
+	pairs := [][2]uint32{{1, 2}, {2, 1}, {0, 3}, {3, 0}, {1 << 20, 0}, {0, 1 << 20}}
+	seen := make(map[uint64][2]uint32)
+	for _, p := range pairs {
+		k := packNarrow(p[:])
+		if prev, dup := seen[k]; dup {
+			t.Errorf("pack(%v) collides with pack(%v)", p, prev)
+		}
+		seen[k] = p
+	}
+}
+
+// The regression the relation.go comment promises: IndexOn returns the
+// identical cached map until an insert, after which a rebuilt index
+// reflecting the new row is returned. The interned kernel index follows
+// the same contract.
+func TestIndexOnCacheIdentityInvalidatedByInsert(t *testing.T) {
+	r := NewRelation("e", 2)
+	r.Insert(Tuple{"a", "1"})
+	r.Insert(Tuple{"b", "2"})
+
+	idx1 := r.IndexOn([]int{0})
+	idx2 := r.IndexOn([]int{0})
+	if reflect.ValueOf(idx1).Pointer() != reflect.ValueOf(idx2).Pointer() {
+		t.Error("repeated IndexOn did not return the cached map")
+	}
+	ix1 := r.indexFor([]int{0})
+	if r.indexFor([]int{0}) != ix1 {
+		t.Error("repeated indexFor did not return the cached index")
+	}
+
+	// A duplicate insert is a no-op and must not invalidate.
+	if r.Insert(Tuple{"a", "1"}) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if reflect.ValueOf(r.IndexOn([]int{0})).Pointer() != reflect.ValueOf(idx1).Pointer() {
+		t.Error("duplicate insert invalidated the cached index")
+	}
+
+	// A real insert rebuilds both indexes with the new row visible.
+	r.Insert(Tuple{"c", "3"})
+	idx3 := r.IndexOn([]int{0})
+	if reflect.ValueOf(idx3).Pointer() == reflect.ValueOf(idx1).Pointer() {
+		t.Error("insert did not invalidate the cached string index")
+	}
+	if len(idx3[Tuple{"c"}.Key()]) != 1 {
+		t.Errorf("rebuilt index misses the new row: %v", idx3)
+	}
+	ix3 := r.indexFor([]int{0})
+	if ix3 == ix1 {
+		t.Error("insert did not invalidate the cached interned index")
+	}
+	id, ok := r.in.Lookup("c")
+	if !ok {
+		t.Fatal("value not interned")
+	}
+	if got := ix3.bucket([]uint32{id}); len(got) != 1 {
+		t.Errorf("rebuilt interned index misses the new row: %v", got)
+	}
+}
+
+// Constant-bound subgoals score better than unbound ones of equal size,
+// so greedy ordering starts with them (they prune hardest).
+func TestGreedyOrderConstantBoundFirst(t *testing.T) {
+	db := NewDatabase()
+	gen := NewDataGen(1, 20)
+	gen.Fill(db, "e", 2, 30)
+	gen.Fill(db, "f", 2, 30)
+	body := cq.MustParseQuery("q(X, Y) :- e(X, Y), f(Y, c1)").Body
+	order := db.greedyOrder(body)
+	if order[0] != 1 {
+		t.Errorf("order = %v, want the constant-bound subgoal f(Y, c1) first", order)
+	}
+	// After f binds Y, e joins on a bound variable.
+	if order[1] != 0 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// Equal scores break ties on the lowest body index, and the order is a
+// pure function of the database and body: rerunning must reproduce it.
+func TestGreedyOrderDeterministicTieBreak(t *testing.T) {
+	db := NewDatabase()
+	gen := NewDataGen(7, 10)
+	gen.Fill(db, "e", 2, 25)
+	// Three structurally identical subgoals over the same relation: all
+	// scores tie, so the greedy order must be the body order.
+	body := cq.MustParseQuery("q(A, B, C) :- e(A, B), e(B, C), e(C, A)").Body
+	first := db.greedyOrder(body)
+	if first[0] != 0 {
+		t.Errorf("tie not broken by first index: %v", first)
+	}
+	for i := 0; i < 5; i++ {
+		if got := db.greedyOrder(body); !reflect.DeepEqual(got, first) {
+			t.Fatalf("greedyOrder unstable: %v then %v", first, got)
+		}
+	}
+}
+
+// One atom mixing a repeated variable and a constant: e(X, X, k) must
+// keep only rows whose first two columns agree and whose third is k.
+func TestJoinStepRepeatedVarAndConstantSameAtom(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadFacts("e(a, a, k). e(a, b, k). e(b, b, k). e(c, c, x)."); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.JoinStep(UnitVarRelation(), cq.MustParseQuery("q(X) :- e(X, X, k)").Body[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Schema) != 1 || out.Schema[0] != cq.Var("X") {
+		t.Fatalf("schema = %v", out.Schema)
+	}
+	got := map[Value]bool{}
+	for _, row := range out.Rows() {
+		got[row[0]] = true
+	}
+	if len(got) != 2 || !got["a"] || !got["b"] {
+		t.Errorf("rows = %v, want {a, b}", got)
+	}
+
+	// The repeated variable also constrains join columns when bound:
+	// joining {X=a} with e(X, X, k) keeps only (a, a, k).
+	cur := NewVarRelation(Schema{"X"})
+	cur.Insert(Tuple{"a"})
+	cur.Insert(Tuple{"c"})
+	out2, err := db.JoinStep(cur, cq.MustParseQuery("q(X) :- e(X, X, k)").Body[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Size() != 1 || out2.Rows()[0][0] != Value("a") {
+		t.Errorf("bound join rows = %v, want just (a)", out2.Rows())
+	}
+}
+
+// A constant the database has never stored anywhere cannot match: the
+// kernel short-circuits to an empty result without probing.
+func TestJoinStepUnknownConstantEmpty(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadFacts("e(a, b)."); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.JoinStep(UnitVarRelation(), cq.MustParseQuery("q(X) :- e(X, nosuch)").Body[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 {
+		t.Errorf("rows = %v, want none", out.Rows())
+	}
+}
+
+// By default an unknown predicate joins as empty but is observable: the
+// unknown_predicates counter ticks. In strict mode it is a distinct
+// error identifying the predicate.
+func TestJoinStepUnknownPredicate(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadFacts("e(a, b)."); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	db.SetTracer(tr)
+	atom := cq.MustParseQuery("q(X) :- ghost(X)").Body[0]
+	out, err := db.JoinStep(UnitVarRelation(), atom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 {
+		t.Errorf("unknown predicate joined %d rows", out.Size())
+	}
+	if got := tr.Counter(obs.CtrUnknownPreds); got != 1 {
+		t.Errorf("unknown_predicates = %d, want 1", got)
+	}
+
+	db.SetStrictPredicates(true)
+	_, err = db.JoinStep(UnitVarRelation(), atom, nil)
+	var upe *UnknownPredicateError
+	if !errors.As(err, &upe) {
+		t.Fatalf("strict mode error = %v, want *UnknownPredicateError", err)
+	}
+	if upe.Pred != "ghost" {
+		t.Errorf("error names %q, want ghost", upe.Pred)
+	}
+	db.SetStrictPredicates(false)
+	if _, err := db.JoinStep(UnitVarRelation(), atom, nil); err != nil {
+		t.Errorf("lenient mode errored: %v", err)
+	}
+}
+
+// A left relation built outside the database (its own symbol table) must
+// join correctly: the kernel translates it into the database's table.
+func TestJoinStepForeignInternerLeft(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadFacts("e(a, b). e(b, c)."); err != nil {
+		t.Fatal(err)
+	}
+	cur := NewVarRelation(Schema{"X", "Z"})
+	cur.Insert(Tuple{"a", "keepme"}) // "keepme" exists only in cur's table
+	cur.Insert(Tuple{"z", "w"})
+	out, err := db.JoinStep(cur, cq.MustParseQuery("q(X, Y) :- e(X, Y)").Body[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 1 {
+		t.Fatalf("rows = %v, want one", out.Rows())
+	}
+	row := out.Rows()[0]
+	if fmt.Sprint(row) != "[a keepme b]" {
+		t.Errorf("row = %v, want [a keepme b]", row)
+	}
+}
+
+// Lazy string rows must track inserts: Rows() extends incrementally and
+// SortedRows stays correct after growth.
+func TestLazyRowsTrackInserts(t *testing.T) {
+	r := NewRelation("e", 1)
+	r.Insert(Tuple{"b"})
+	if got := r.Rows(); len(got) != 1 || got[0][0] != Value("b") {
+		t.Fatalf("rows = %v", got)
+	}
+	r.Insert(Tuple{"a"})
+	if got := r.Rows(); len(got) != 2 || got[1][0] != Value("a") {
+		t.Fatalf("rows after insert = %v", got)
+	}
+	sorted := r.SortedRows()
+	if sorted[0][0] != Value("a") || sorted[1][0] != Value("b") {
+		t.Errorf("sorted = %v", sorted)
+	}
+}
+
+// remapped permutes columns without disturbing set semantics, and a
+// frozen copy lazily rebuilds its dedup set when mutated.
+func TestVarRelationRemapped(t *testing.T) {
+	vr := NewVarRelation(Schema{"X", "Y"})
+	vr.Insert(Tuple{"a", "1"})
+	vr.Insert(Tuple{"b", "2"})
+	re, ok := vr.remapped(Schema{"Y", "X"})
+	if !ok {
+		t.Fatal("remap refused a pure permutation")
+	}
+	if re.Size() != 2 || fmt.Sprint(re.Rows()[0]) != "[1 a]" {
+		t.Errorf("remapped rows = %v", re.Rows())
+	}
+	// The frozen copy accepts inserts again (set rebuilt lazily):
+	// re-inserting an existing row is a no-op, a new row lands.
+	if re.Insert(Tuple{"1", "a"}) {
+		t.Error("duplicate insert into remapped relation reported new")
+	}
+	if !re.Insert(Tuple{"3", "c"}) || re.Size() != 3 {
+		t.Error("fresh insert into remapped relation failed")
+	}
+	if _, ok := vr.remapped(Schema{"X"}); ok {
+		t.Error("remap accepted a narrowing projection")
+	}
+	if _, ok := vr.remapped(Schema{"X", "Q"}); ok {
+		t.Error("remap accepted an unknown column")
+	}
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"sync"
+
+	"viewplan/internal/obs"
+)
+
+// IRCache memoizes intermediate relations across the planner's
+// candidate-rewriting loop. The hundreds of minimal rewritings CoreCover
+// produces for one query share view tuples, so the M2 subset-lattice
+// search and the M3 order search keep re-materializing joins over the
+// same subgoal sets; the cache hands back the relation computed the
+// first time instead.
+//
+// Keys are chosen by the caller (the cost optimizers): for M2, the
+// canonical sorted set of subgoal atom strings — any join order over
+// the same set yields the same set of rows, so a cached relation is
+// reusable across orders and rewritings, modulo a column permutation
+// that IRLookup applies. For M3, the ordered chain of (atom, retained
+// variables) — generalized supplementary relations are history-
+// dependent (a dropped variable rebinds freshly on re-join), so only an
+// identical prefix chain may be reused.
+//
+// Entries are invalidated wholesale when the database's mutation
+// counter moves: any Insert into any of the database's relations bumps
+// it, and the next cache access starts from empty.
+type IRCache struct {
+	mu  sync.Mutex
+	gen uint64
+	m   map[string]*VarRelation
+}
+
+// NewIRCache creates an empty cache.
+func NewIRCache() *IRCache {
+	return &IRCache{m: make(map[string]*VarRelation)}
+}
+
+// SetIRCache attaches (or, with nil, detaches) an intermediate-relation
+// cache. The planner attaches a fresh cache per PlanQuery call; attach
+// one yourself to share materialized IRs across planning runs over an
+// unchanged database. Not safe to change while queries run.
+func (db *Database) SetIRCache(c *IRCache) { db.ir = c }
+
+// IRCache returns the attached cache (nil when memoization is off).
+func (db *Database) IRCache() *IRCache { return db.ir }
+
+// lockedSync points m at a fresh map when the database has been
+// mutated since the cache last ran. Callers hold c.mu.
+func (c *IRCache) lockedSync(dbGen uint64) {
+	if c.gen != dbGen {
+		c.m = make(map[string]*VarRelation)
+		c.gen = dbGen
+	}
+}
+
+// IRLookup returns the relation memoized under key with its columns in
+// want order, remapping (a pure permutation copy) when the cached
+// schema ordering differs. The returned relation is shared — callers
+// must treat it as immutable, which the cost optimizers do. Without an
+// attached cache every lookup misses silently; with one, hits and
+// misses tick the ir_cache counters on the database's tracer.
+func (db *Database) IRLookup(key string, want Schema) (*VarRelation, bool) {
+	c := db.ir
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.lockedSync(db.gen)
+	vr := c.m[key]
+	c.mu.Unlock()
+	if vr != nil {
+		if schemaEqual(vr.Schema, want) {
+			db.tracer.Add(obs.CtrIRCacheHit, 1)
+			return vr, true
+		}
+		if re, ok := vr.remapped(want); ok {
+			db.tracer.Add(obs.CtrIRCacheHit, 1)
+			return re, true
+		}
+	}
+	db.tracer.Add(obs.CtrIRCacheMiss, 1)
+	return nil, false
+}
+
+// IRStore memoizes a relation produced by the database's join kernel
+// under key. Relations with foreign symbol tables are not shareable and
+// are ignored. No-op without an attached cache.
+func (db *Database) IRStore(key string, vr *VarRelation) {
+	c := db.ir
+	if c == nil || vr == nil || vr.in != db.in {
+		return
+	}
+	c.mu.Lock()
+	c.lockedSync(db.gen)
+	c.m[key] = vr
+	c.mu.Unlock()
+}
+
+func schemaEqual(a, b Schema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -4,6 +4,11 @@
 // cost models of Sections 5 and 6 — physical plans are simulated on real
 // data so intermediate-relation and generalized-supplementary-relation
 // sizes are measured, not estimated.
+//
+// Internally every relation stores interned integer rows (see Interner):
+// values are mapped to dense uint32 ids once at insert, and all joins,
+// dedup sets, and indexes operate on packed integer keys. The string
+// Tuple API remains the public surface; string rows materialize lazily.
 package engine
 
 import (
@@ -42,22 +47,42 @@ func (t Tuple) Clone() Tuple {
 }
 
 // Relation is a named relation with set semantics: inserting a duplicate
-// row is a no-op. Hash indexes built for joins are cached per column set
-// and invalidated by inserts, so repeated planning over the same
-// materialized views (the optimizer probes each view relation many
+// row is a no-op. Rows are stored as interned ids in one flat slice
+// (Arity ids per row), so an insert costs one map probe and an append,
+// no per-row allocation. Hash indexes built for joins are cached per
+// column set and invalidated by inserts, so repeated planning over the
+// same materialized views (the optimizer probes each view relation many
 // times) pays the index build once.
 type Relation struct {
 	Name  string
 	Arity int
 
-	rows    []Tuple
-	seen    map[string]struct{}
-	indexes map[string]map[string][]Tuple
+	in      *Interner
+	gen     *uint64 // database mutation counter to bump on insert; may be nil
+	data    []uint32
+	n       int
+	set     *rowSet
+	rows    []Tuple // lazy string-row cache: first len(rows) of the n rows
+	scratch []uint32
+
+	indexes  map[string]map[string][]Tuple // string-keyed API (IndexOn)
+	iindexes map[string]*rowIndex          // interned indexes (join kernel)
 }
 
-// NewRelation creates an empty relation.
+// NewRelation creates an empty standalone relation with its own private
+// symbol table. Relations created through a Database share the
+// database's table instead (Database.Create).
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{Name: name, Arity: arity, seen: make(map[string]struct{})}
+	return newRelationIn(name, arity, NewInterner(), nil)
+}
+
+func newRelationIn(name string, arity int, in *Interner, gen *uint64) *Relation {
+	return &Relation{Name: name, Arity: arity, in: in, gen: gen, set: newRowSet(arity)}
+}
+
+// irow returns row i as a view into the flat storage (do not modify).
+func (r *Relation) irow(i int) []uint32 {
+	return r.data[i*r.Arity : (i+1)*r.Arity]
 }
 
 // Insert adds a row, reporting whether it was new. It panics on arity
@@ -66,13 +91,28 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("engine: inserting %d-tuple into %s/%d", len(t), r.Name, r.Arity))
 	}
-	k := t.Key()
-	if _, dup := r.seen[k]; dup {
+	if cap(r.scratch) < r.Arity {
+		r.scratch = make([]uint32, r.Arity)
+	}
+	ids := r.scratch[:r.Arity]
+	for i, v := range t {
+		ids[i] = r.in.ID(v)
+	}
+	return r.insertIDs(ids)
+}
+
+// insertIDs adds an interned row (ids are copied, not retained).
+func (r *Relation) insertIDs(ids []uint32) bool {
+	if !r.set.add(ids) {
 		return false
 	}
-	r.seen[k] = struct{}{}
-	r.rows = append(r.rows, t.Clone())
+	r.data = append(r.data, ids...)
+	r.n++
 	r.indexes = nil // cached indexes are stale
+	r.iindexes = nil
+	if r.gen != nil {
+		*r.gen++
+	}
 	return true
 }
 
@@ -87,7 +127,7 @@ func (r *Relation) IndexOn(cols []int) map[string][]Tuple {
 	}
 	idx := make(map[string][]Tuple)
 	key := make(Tuple, len(cols))
-	for _, row := range r.rows {
+	for _, row := range r.Rows() {
 		for k, c := range cols {
 			key[k] = row[c]
 		}
@@ -101,6 +141,29 @@ func (r *Relation) IndexOn(cols []int) map[string][]Tuple {
 	return idx
 }
 
+// indexFor returns the interned hash index on the given columns for the
+// join kernel, building and caching it on first use.
+func (r *Relation) indexFor(cols []int) *rowIndex {
+	sig := colsKey(cols)
+	if ix, ok := r.iindexes[sig]; ok {
+		return ix
+	}
+	ix := newRowIndex(len(cols))
+	key := make([]uint32, len(cols))
+	for i := 0; i < r.n; i++ {
+		row := r.irow(i)
+		for k, c := range cols {
+			key[k] = row[c]
+		}
+		ix.insert(key, int32(i))
+	}
+	if r.iindexes == nil {
+		r.iindexes = make(map[string]*rowIndex)
+	}
+	r.iindexes[sig] = ix
+	return ix
+}
+
 func colsKey(cols []int) string {
 	var b strings.Builder
 	for _, c := range cols {
@@ -111,23 +174,44 @@ func colsKey(cols []int) string {
 }
 
 // Size returns the number of rows.
-func (r *Relation) Size() int { return len(r.rows) }
+func (r *Relation) Size() int { return r.n }
 
 // Rows returns the rows in insertion order. The slice and its tuples must
-// not be modified.
-func (r *Relation) Rows() []Tuple { return r.rows }
+// not be modified. String tuples are materialized lazily from the
+// interned storage on first call and extended incrementally after
+// inserts.
+func (r *Relation) Rows() []Tuple {
+	for len(r.rows) < r.n {
+		r.rows = append(r.rows, r.in.tuple(r.irow(len(r.rows))))
+	}
+	return r.rows
+}
 
 // Contains reports whether the relation holds the tuple.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.seen[t.Key()]
-	return ok
+	if len(t) != r.Arity {
+		return false
+	}
+	if cap(r.scratch) < r.Arity {
+		r.scratch = make([]uint32, r.Arity)
+	}
+	ids := r.scratch[:r.Arity]
+	for i, v := range t {
+		id, ok := r.in.Lookup(v)
+		if !ok {
+			return false
+		}
+		ids[i] = id
+	}
+	return r.set.has(ids)
 }
 
 // SortedRows returns the rows in lexicographic order (for deterministic
 // output).
 func (r *Relation) SortedRows() []Tuple {
-	out := make([]Tuple, len(r.rows))
-	copy(out, r.rows)
+	rows := r.Rows()
+	out := make([]Tuple, len(rows))
+	copy(out, rows)
 	sort.Slice(out, func(i, j int) bool { return tupleLess(out[i], out[j]) })
 	return out
 }
@@ -161,16 +245,28 @@ func (s Schema) IndexOf(v cq.Var) int {
 }
 
 // VarRelation is an intermediate relation whose columns are query
-// variables: the IR_i / GSR_i of the paper's cost models.
+// variables: the IR_i / GSR_i of the paper's cost models. Like Relation
+// it stores interned rows flat; the string Rows view is lazy.
 type VarRelation struct {
 	Schema Schema
-	rows   []Tuple
-	seen   map[string]struct{}
+
+	in      *Interner
+	data    []uint32
+	n       int
+	set     *rowSet // nil on frozen cache copies; rebuilt lazily on Insert
+	rows    []Tuple // lazy string-row cache
+	scratch []uint32
 }
 
-// NewVarRelation creates an empty intermediate relation over the schema.
+// NewVarRelation creates an empty standalone intermediate relation over
+// the schema with its own private symbol table. The engine's join kernel
+// creates its intermediates bound to the database's table instead.
 func NewVarRelation(schema Schema) *VarRelation {
-	return &VarRelation{Schema: schema, seen: make(map[string]struct{})}
+	return newVarRelationIn(schema, NewInterner())
+}
+
+func newVarRelationIn(schema Schema, in *Interner) *VarRelation {
+	return &VarRelation{Schema: schema, in: in, set: newRowSet(len(schema))}
 }
 
 // UnitVarRelation returns the join identity: an empty schema with one
@@ -181,25 +277,60 @@ func UnitVarRelation() *VarRelation {
 	return vr
 }
 
+// irow returns row i as a view into the flat storage (do not modify).
+func (vr *VarRelation) irow(i int) []uint32 {
+	w := len(vr.Schema)
+	return vr.data[i*w : (i+1)*w]
+}
+
 // Insert adds a row with set semantics, reporting whether it was new.
 func (vr *VarRelation) Insert(t Tuple) bool {
 	if len(t) != len(vr.Schema) {
 		panic(fmt.Sprintf("engine: inserting %d-tuple into schema of %d columns", len(t), len(vr.Schema)))
 	}
-	k := t.Key()
-	if _, dup := vr.seen[k]; dup {
+	if cap(vr.scratch) < len(t) {
+		vr.scratch = make([]uint32, len(t))
+	}
+	ids := vr.scratch[:len(t)]
+	for i, v := range t {
+		ids[i] = vr.in.ID(v)
+	}
+	return vr.insertIDs(ids)
+}
+
+// insertIDs adds an interned row (ids are copied, not retained).
+func (vr *VarRelation) insertIDs(ids []uint32) bool {
+	if vr.set == nil {
+		vr.rebuildSet()
+	}
+	if !vr.set.add(ids) {
 		return false
 	}
-	vr.seen[k] = struct{}{}
-	vr.rows = append(vr.rows, t.Clone())
+	vr.data = append(vr.data, ids...)
+	vr.n++
 	return true
 }
 
-// Size returns the number of rows.
-func (vr *VarRelation) Size() int { return len(vr.rows) }
+// rebuildSet reconstructs the dedup set of a frozen (cache-shared) copy
+// that is being mutated again.
+func (vr *VarRelation) rebuildSet() {
+	vr.set = newRowSet(len(vr.Schema))
+	for i := 0; i < vr.n; i++ {
+		vr.set.add(vr.irow(i))
+	}
+}
 
-// Rows returns the rows in insertion order (do not modify).
-func (vr *VarRelation) Rows() []Tuple { return vr.rows }
+// Size returns the number of rows.
+func (vr *VarRelation) Size() int { return vr.n }
+
+// Rows returns the rows in insertion order (do not modify). String
+// tuples materialize lazily from the interned storage.
+func (vr *VarRelation) Rows() []Tuple {
+	for len(vr.rows) < vr.n {
+		vr.rows = append(vr.rows, vr.in.tuple(vr.irow(len(vr.rows))))
+	}
+	return vr.rows
+}
 
 // Project returns a new VarRelation keeping only the given variables (in
 // the given order), deduplicating rows (set semantics). Variables absent
@@ -213,13 +344,47 @@ func (vr *VarRelation) Project(keep []cq.Var) (*VarRelation, error) {
 		}
 		cols[i] = c
 	}
-	out := NewVarRelation(append(Schema(nil), keep...))
-	for _, row := range vr.rows {
-		t := make(Tuple, len(cols))
-		for i, c := range cols {
-			t[i] = row[c]
+	out := newVarRelationIn(append(Schema(nil), keep...), vr.in)
+	buf := make([]uint32, len(cols))
+	for i := 0; i < vr.n; i++ {
+		row := vr.irow(i)
+		for j, c := range cols {
+			buf[j] = row[c]
 		}
-		out.Insert(t)
+		out.insertIDs(buf)
 	}
 	return out, nil
+}
+
+// remapped returns a copy of vr with columns permuted into the order of
+// want (which must be a permutation of vr's schema; reported false
+// otherwise). The copy shares vr's interner and is created frozen — its
+// dedup set is rebuilt only if someone inserts into it. The IR cache
+// uses this to hand one memoized relation to callers that materialized
+// the same subgoal set through different join orders.
+func (vr *VarRelation) remapped(want Schema) (*VarRelation, bool) {
+	if len(want) != len(vr.Schema) {
+		return nil, false
+	}
+	cols := make([]int, len(want))
+	for i, v := range want {
+		c := vr.Schema.IndexOf(v)
+		if c < 0 {
+			return nil, false
+		}
+		cols[i] = c
+	}
+	out := &VarRelation{
+		Schema: append(Schema(nil), want...),
+		in:     vr.in,
+		n:      vr.n,
+		data:   make([]uint32, 0, len(vr.data)),
+	}
+	for i := 0; i < vr.n; i++ {
+		row := vr.irow(i)
+		for _, c := range cols {
+			out.data = append(out.data, row[c])
+		}
+	}
+	return out, true
 }

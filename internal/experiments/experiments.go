@@ -15,7 +15,10 @@ import (
 	"sync"
 	"time"
 
+	"viewplan"
 	"viewplan/internal/corecover"
+	"viewplan/internal/cost"
+	"viewplan/internal/engine"
 	"viewplan/internal/obs"
 	"viewplan/internal/views"
 	"viewplan/internal/workload"
@@ -53,6 +56,18 @@ type Point struct {
 	// PhaseNanos are the summed per-phase wall times over the same
 	// queries, flattened by phase name (SweepConfig.Trace only).
 	PhaseNanos map[string]int64 `json:"phase_nanos,omitempty"`
+	// AvgPlanMillis is the mean end-to-end PlanQuery time under
+	// SweepConfig.CostModel (zero when cost planning is off).
+	AvgPlanMillis float64 `json:"avg_plan_ms,omitempty"`
+	// MaxPlanMillis is the worst query's planning time.
+	MaxPlanMillis float64 `json:"max_plan_ms,omitempty"`
+	// AvgPlanCost is the mean chosen-plan cost under the cost model.
+	AvgPlanCost float64 `json:"avg_plan_cost,omitempty"`
+	// PlanCounters / PlanPhaseNanos aggregate the cost-planning runs'
+	// observability snapshots (engine counters such as join_probe_rows,
+	// ir_cache_hits live here; SweepConfig.Trace and CostModel only).
+	PlanCounters   map[string]int64 `json:"plan_counters,omitempty"`
+	PlanPhaseNanos map[string]int64 `json:"plan_phase_nanos,omitempty"`
 }
 
 // SweepConfig parameterizes one figure-generating sweep.
@@ -83,6 +98,21 @@ type SweepConfig struct {
 	// Tracing adds a little overhead to the timed region, so leave it off
 	// when reproducing the paper's timing figures.
 	Trace bool
+	// CostModel, when nonzero (cost.M2 or cost.M3), additionally runs the
+	// one-shot planner per query that has a rewriting: base relations are
+	// filled with DataRows synthetic rows each over a DataDomain-value
+	// domain, views are materialized, and viewplan.PlanQuery is timed
+	// end to end (rewriting generation + the engine-backed cost search).
+	// The M2/M3 sweep of the Figure 6(a) workload in BENCH_engine.json is
+	// produced this way. Planning measurements land in the Point's
+	// AvgPlanMillis/AvgPlanCost and, with Trace, PlanCounters and
+	// PlanPhaseNanos.
+	CostModel cost.Model
+	// DataRows and DataDomain size the synthetic data for CostModel runs
+	// (default 100 rows per base relation over 100 distinct values, which
+	// keeps star-join fan-out near 1).
+	DataRows   int
+	DataDomain int
 }
 
 // DefaultViewCounts is the paper's x axis: 100 to 1000 views.
@@ -105,6 +135,12 @@ func (c SweepConfig) Normalize() SweepConfig {
 	if c.QuerySubgoals == 0 {
 		c.QuerySubgoals = 8
 	}
+	if c.DataRows == 0 {
+		c.DataRows = 100
+	}
+	if c.DataDomain == 0 {
+		c.DataDomain = 100
+	}
 	return c
 }
 
@@ -116,6 +152,10 @@ type queryResult struct {
 	gmrs, gmrSize          int
 	allTuples              int
 	stats                  *obs.Snapshot
+	planned                bool
+	planMs                 float64
+	planCost               int
+	planStats              *obs.Snapshot
 	err                    error
 }
 
@@ -150,7 +190,7 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			if len(res.Rewritings) == 0 {
 				return queryResult{} // the paper ignores queries without rewritings
 			}
-			return queryResult{
+			qr := queryResult{
 				ok:          true,
 				ms:          float64(elapsed.Microseconds()) / 1000.0,
 				viewClasses: len(res.ViewClasses),
@@ -162,6 +202,15 @@ func Run(cfg SweepConfig) ([]Point, error) {
 				allTuples: len(views.ComputeTuples(res.MinimalQuery, inst.Views)),
 				stats:     res.PlanningStats,
 			}
+			if cfg.CostModel != 0 {
+				pr, err := planOne(cfg, inst, qi)
+				if err != nil {
+					return queryResult{err: err}
+				}
+				qr.planned = pr.planned
+				qr.planMs, qr.planCost, qr.planStats = pr.planMs, pr.planCost, pr.planStats
+			}
+			return qr
 		}
 		if cfg.Parallelism > 1 {
 			sem := make(chan struct{}, cfg.Parallelism)
@@ -181,6 +230,7 @@ func Run(cfg SweepConfig) ([]Point, error) {
 				results[qi] = runOne(qi)
 			}
 		}
+		planned := 0
 		for _, r := range results {
 			if r.err != nil {
 				return nil, r.err
@@ -199,6 +249,15 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			pt.AvgGMRSize += float64(r.gmrSize)
 			pt.AvgAllTuples += float64(r.allTuples)
 			pt.absorb(r.stats)
+			if r.planned {
+				planned++
+				pt.AvgPlanMillis += r.planMs
+				if r.planMs > pt.MaxPlanMillis {
+					pt.MaxPlanMillis = r.planMs
+				}
+				pt.AvgPlanCost += float64(r.planCost)
+				pt.absorbPlan(r.planStats)
+			}
 		}
 		if pt.WithRewriting > 0 {
 			n := float64(pt.WithRewriting)
@@ -209,32 +268,81 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			pt.AvgGMRs /= n
 			pt.AvgGMRSize /= n
 		}
+		if planned > 0 {
+			pt.AvgPlanMillis /= float64(planned)
+			pt.AvgPlanCost /= float64(planned)
+		}
 		out = append(out, pt)
 	}
 	return out, nil
 }
 
+// planOne materializes the instance's views over synthetic base data and
+// times the one-shot planner under the sweep's cost model. The data is
+// seeded per query, so reruns are deterministic.
+func planOne(cfg SweepConfig, inst *workload.Instance, qi int) (queryResult, error) {
+	db := engine.NewDatabase()
+	gen := engine.NewDataGen(cfg.Seed+int64(qi)+7919, cfg.DataDomain)
+	gen.FillForQuery(db, inst.Query, cfg.DataRows)
+	if err := db.MaterializeViews(inst.Views); err != nil {
+		return queryResult{}, err
+	}
+	req := viewplan.PlanRequest{
+		Model:         cfg.CostModel,
+		MaxRewritings: cfg.Options.MaxRewritings,
+		Parallelism:   cfg.Options.Parallelism,
+	}
+	if cfg.Trace {
+		req.Tracer = obs.New()
+	}
+	start := time.Now()
+	res, err := viewplan.PlanQuery(db, inst.Query, inst.Views, req)
+	if err != nil {
+		return queryResult{}, err
+	}
+	elapsed := time.Since(start)
+	if res == nil {
+		return queryResult{}, nil
+	}
+	return queryResult{
+		planned:   true,
+		planMs:    float64(elapsed.Microseconds()) / 1000.0,
+		planCost:  res.Cost,
+		planStats: res.Stats,
+	}, nil
+}
+
 // absorb folds one query's observability snapshot into the point's
 // counter and phase-time sums.
 func (pt *Point) absorb(s *obs.Snapshot) {
+	pt.Counters, pt.PhaseNanos = absorbInto(pt.Counters, pt.PhaseNanos, s)
+}
+
+// absorbPlan is absorb for the cost-planning snapshot.
+func (pt *Point) absorbPlan(s *obs.Snapshot) {
+	pt.PlanCounters, pt.PlanPhaseNanos = absorbInto(pt.PlanCounters, pt.PlanPhaseNanos, s)
+}
+
+func absorbInto(counters, phases map[string]int64, s *obs.Snapshot) (map[string]int64, map[string]int64) {
 	if s == nil {
-		return
+		return counters, phases
 	}
-	if pt.Counters == nil {
-		pt.Counters = make(map[string]int64)
-		pt.PhaseNanos = make(map[string]int64)
+	if counters == nil {
+		counters = make(map[string]int64)
+		phases = make(map[string]int64)
 	}
 	for name, v := range s.Counters {
-		pt.Counters[name] += v
+		counters[name] += v
 	}
 	var walk func(ps []obs.PhaseStats)
 	walk = func(ps []obs.PhaseStats) {
 		for _, p := range ps {
-			pt.PhaseNanos[p.Phase] += p.Nanos
+			phases[p.Phase] += p.Nanos
 			walk(p.Children)
 		}
 	}
 	walk(s.Phases)
+	return counters, phases
 }
 
 func countNonEmptyClasses(res *corecover.Result) int {
@@ -306,6 +414,17 @@ func WriteMetrics(w io.Writer, report []FigureMetrics) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// RenderPlanning writes the cost-planning columns of a CostModel sweep as
+// an aligned text table: per view count, the mean/max end-to-end planning
+// time and the mean chosen-plan cost.
+func RenderPlanning(w io.Writer, model cost.Model, points []Point) {
+	fmt.Fprintf(w, "# %s planning over materialized views (ms)\n", model)
+	fmt.Fprintf(w, "%-10s %-14s %-14s %-14s\n", "views", "avg_plan_ms", "max_plan_ms", "avg_plan_cost")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10d %-14.3f %-14.3f %-14.1f\n", p.NumViews, p.AvgPlanMillis, p.MaxPlanMillis, p.AvgPlanCost)
+	}
 }
 
 // Render writes a figure's series as an aligned text table (and CSV-ready

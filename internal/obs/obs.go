@@ -32,22 +32,26 @@ import (
 // Phase names used by the planner pipeline. Instrumented code may use
 // any string, but sharing these keeps snapshots and tools consistent.
 const (
-	PhaseCoreCover       = "corecover"
-	PhaseMinimize        = "minimize"
-	PhaseViewGrouping    = "view-grouping"
-	PhaseViewTuples      = "view-tuples"
-	PhaseTupleCores      = "tuple-cores"
-	PhaseCoverSearch     = "cover-search"
-	PhaseVerify          = "verify"
+	PhaseCoreCover    = "corecover"
+	PhaseMinimize     = "minimize"
+	PhaseViewGrouping = "view-grouping"
+	PhaseViewTuples   = "view-tuples"
+	PhaseTupleCores   = "tuple-cores"
+	PhaseCoverSearch  = "cover-search"
+	PhaseVerify       = "verify"
 	// PhaseParallelFanout wraps a region where the planner fans work out
 	// across its worker pool (per-view tuple computation, batched cover
 	// verification). Workers never open spans themselves — the coordinator
 	// owns the span and workers report through atomic counters only.
-	PhaseParallelFanout = "parallel-fanout"
+	PhaseParallelFanout  = "parallel-fanout"
 	PhaseAssemble        = "assemble"
 	PhaseM2Optimizer     = "m2-optimizer"
 	PhaseM3Optimizer     = "m3-optimizer"
 	PhaseFilterSelection = "filter-selection"
+	// PhaseEngineJoin wraps one engine JoinStep: the hash-join kernel
+	// materializing an intermediate relation. It nests under whichever
+	// optimizer phase drove the join.
+	PhaseEngineJoin = "engine-join"
 )
 
 // Counter identifies one unit of planner-internal work. Counters are
@@ -97,6 +101,19 @@ const (
 	// CtrHomCacheMiss counts containment checks that fell through the
 	// cache to a real search (including uncacheable queries).
 	CtrHomCacheMiss
+	// CtrJoinProbeRows counts candidate rows pulled from join-index
+	// buckets by the engine's hash-join kernel (probe-side work, before
+	// constant and repeated-variable filtering).
+	CtrJoinProbeRows
+	// CtrIRCacheHit counts intermediate relations reused from the
+	// planner's IR cache instead of being re-joined.
+	CtrIRCacheHit
+	// CtrIRCacheMiss counts IR-cache lookups that fell through to a
+	// real join (counted only while a cache is attached).
+	CtrIRCacheMiss
+	// CtrUnknownPreds counts join steps over predicates the database has
+	// no relation for (a likely misnamed view; they join as empty).
+	CtrUnknownPreds
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -122,6 +139,10 @@ var counterNames = [NumCounters]string{
 	CtrFiltersAdded:     "filters_added",
 	CtrHomCacheHit:      "hom_cache_hits",
 	CtrHomCacheMiss:     "hom_cache_misses",
+	CtrJoinProbeRows:    "join_probe_rows",
+	CtrIRCacheHit:       "ir_cache_hits",
+	CtrIRCacheMiss:      "ir_cache_misses",
+	CtrUnknownPreds:     "unknown_predicates",
 }
 
 // String returns the counter's snake_case snapshot key.

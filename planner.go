@@ -5,6 +5,7 @@ import (
 
 	"viewplan/internal/corecover"
 	"viewplan/internal/cost"
+	"viewplan/internal/engine"
 )
 
 // PlanRequest configures the one-shot planner: which cost model to
@@ -98,6 +99,15 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 
 	if db == nil {
 		return nil, fmt.Errorf("viewplan: cost model %s needs a database with materialized views", req.Model)
+	}
+	// Candidate rewritings share view tuples, so their cost simulations
+	// keep joining the same subgoal sets; a per-call IR cache lets the
+	// optimizers reuse those intermediate relations across candidates
+	// (and across the repeated searches of filter selection). A caller
+	// who attached a longer-lived cache keeps it.
+	if db.IRCache() == nil {
+		db.SetIRCache(engine.NewIRCache())
+		defer db.SetIRCache(nil)
 	}
 	res, err := corecover.CoreCoverStar(q, vs, opts)
 	if err != nil {

@@ -117,6 +117,10 @@ type (
 	// Tracer records hierarchical phase spans and atomic work counters
 	// for one planning run; nil is the no-op default.
 	Tracer = obs.Tracer
+	// IRCache memoizes intermediate join relations across the cost
+	// optimizers' candidate rewritings (Database.SetIRCache). PlanQuery
+	// attaches a fresh one per call when none is set.
+	IRCache = engine.IRCache
 	// PlanningStats is a snapshot of a run's phase durations and
 	// counters (Result.PlanningStats); renders as text or JSON.
 	PlanningStats = obs.Snapshot
@@ -151,6 +155,12 @@ func NewViews(defs ...*Query) (*ViewSet, error) { return views.NewSet(defs...) }
 // NewTracer returns an empty planner tracer to pass via Options.Tracer,
 // PlanRequest.Tracer, or Database.SetTracer.
 func NewTracer() *Tracer { return obs.New() }
+
+// NewIRCache returns an empty intermediate-relation cache. Attach it
+// with Database.SetIRCache to share materialized join results across
+// several planning runs over an unchanged database; without one,
+// PlanQuery memoizes within each call only.
+func NewIRCache() *IRCache { return engine.NewIRCache() }
 
 // NewTracerWithLog returns a tracer that additionally emits structured
 // slog trace events (debug level): one per completed phase span and one
