@@ -1,12 +1,13 @@
 # viewplan build targets. `make check` is the fast pre-commit gate
-# (vet + race-enabled obs/corecover tests); `make test` is the full
-# suite; `make bench` runs the engine allocation gate (Fig. 6a M2
-# planning, allocs/op diffed against scripts/bench_engine_baseline.txt,
-# >10% regression fails); `make benchall` runs every benchmark.
+# (vet + viewplanlint + race-enabled obs/corecover tests); `make lint`
+# runs just the repo's analyzer suite; `make test` is the full suite;
+# `make bench` runs the engine allocation gate (Fig. 6a M2 planning,
+# allocs/op diffed against scripts/bench_engine_baseline.txt, >10%
+# regression fails); `make benchall` runs every benchmark.
 
 GO ?= go
 
-.PHONY: build test check bench benchall vet
+.PHONY: build test check lint bench benchall vet
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,10 @@ test:
 
 check:
 	./scripts/check.sh
+
+lint:
+	$(GO) build -o bin/viewplanlint ./cmd/viewplanlint
+	./bin/viewplanlint ./...
 
 vet:
 	$(GO) vet ./...

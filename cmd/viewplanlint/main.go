@@ -1,0 +1,133 @@
+// viewplanlint is the repo's multichecker: it runs the internal/lint
+// analyzer suite (mapiterdet, tracerparam, internmix, wallclock,
+// sortslice, nilness) over package patterns and fails on any
+// unannotated finding. It machine-checks the determinism,
+// tracer-threading, and intern-safety invariants of DESIGN §8–§10.
+//
+// Usage:
+//
+//	viewplanlint [flags] [packages]
+//
+//	-json   emit findings and per-analyzer counts as JSON on stdout
+//	-list   list the analyzers and their docs, then exit
+//	-a      also print annotated (suppressed) findings with reasons
+//
+// With no packages, ./... is linted. Exit status 1 means unannotated
+// findings (or a //viewplan: annotation missing its reason); 2 means
+// the run itself failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"viewplan/internal/lint"
+	"viewplan/internal/lint/analysis"
+)
+
+type jsonReport struct {
+	Findings []analysis.Finding `json:"findings"`
+	// Counts maps analyzer name to unannotated finding count.
+	Counts map[string]int `json:"counts"`
+	// Annotated maps analyzer name to suppressed finding count.
+	Annotated map[string]int `json:"annotated"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON for machine consumption")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	showAnnotated := flag.Bool("a", false, "also print annotated (suppressed) findings")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := analysis.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "viewplanlint:", err)
+		os.Exit(2)
+	}
+
+	var all []analysis.Finding
+	for _, pkg := range pkgs {
+		fs, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "viewplanlint:", err)
+			os.Exit(2)
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	counts := make(map[string]int)
+	annotated := make(map[string]int)
+	for _, a := range analyzers {
+		counts[a.Name], annotated[a.Name] = 0, 0
+	}
+	active := all[:0:0]
+	for _, f := range all {
+		if f.Suppressed {
+			annotated[f.Analyzer]++
+			continue
+		}
+		counts[f.Analyzer]++
+		active = append(active, f)
+	}
+
+	if *jsonOut {
+		report := jsonReport{Findings: active, Counts: counts, Annotated: annotated}
+		if *showAnnotated {
+			report.Findings = all
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "viewplanlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range all {
+			if f.Suppressed {
+				if *showAnnotated {
+					fmt.Printf("%s (annotated: %s)\n", f, f.Reason)
+				}
+				continue
+			}
+			fmt.Println(f)
+		}
+		names := make([]string, 0, len(counts))
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, "viewplanlint: %-12s %3d finding(s), %3d annotated\n", n, counts[n], annotated[n])
+		}
+	}
+
+	for _, n := range counts {
+		if n > 0 {
+			os.Exit(1)
+		}
+	}
+}

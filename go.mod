@@ -1,3 +1,12 @@
 module viewplan
 
 go 1.22
+
+// Deliberately dependency-free. viewplanlint (cmd/viewplanlint) would
+// normally pin golang.org/x/tools and drive its go/analysis framework
+// (plus the nilness/unusedwrite/sortslice passes), but this module is
+// built in an offline environment with an empty module cache, so
+// internal/lint/analysis re-implements the needed subset on the
+// standard library alone. If x/tools ever becomes available, pin it
+// here and the analyzers in internal/lint translate nearly line for
+// line (see DESIGN §10).

@@ -82,6 +82,7 @@ const FreezePrefix = "_k·"
 func FreezeQuery(q *cq.Query) *CanonicalDB {
 	freeze := cq.NewSubst()
 	thaw := make(map[cq.Const]cq.Var)
+	//viewplan:nondet-ok thaw is keyed by FreezePrefix+v, an injective image of the range key, so iterations write disjoint entries in any order
 	for v := range q.Vars() {
 		c := cq.Const(FreezePrefix + string(v))
 		freeze[v] = c

@@ -27,9 +27,11 @@ type searchStats struct {
 
 // publish flushes the current tallies to the tracer and resets them.
 func (cs *coverSearch) publish() {
-	cs.tracer.Add(obs.CtrCoverNodes, cs.st.nodes)
-	cs.tracer.Add(obs.CtrCoverPruned, cs.st.pruned)
-	cs.tracer.Add(obs.CtrCoversFound, cs.st.found)
+	//viewplan:tracer-field-ok publish runs once per search to flush batched tallies; the field exists to keep atomics and escapes off the per-node path (see the struct comment)
+	tr := cs.tracer
+	tr.Add(obs.CtrCoverNodes, cs.st.nodes)
+	tr.Add(obs.CtrCoverPruned, cs.st.pruned)
+	tr.Add(obs.CtrCoversFound, cs.st.found)
 	cs.st = searchStats{}
 }
 
@@ -52,6 +54,7 @@ func (cs *coverSearch) publish() {
 // larger size are never returned, because a size level with at least one
 // accepted cover ends the search.
 func (cs *coverSearch) MinimumCovers(maxCovers int, filter func([][]int) [][]int) [][]int {
+	//viewplan:tracer-field-ok once-per-search load at phase entry; the field batches per-node counters (see the struct comment)
 	sp := cs.tracer.Start(obs.PhaseCoverSearch)
 	defer sp.End()
 	defer cs.publish()
@@ -148,6 +151,7 @@ func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 // using view tuples that CoreCover* searches (Section 5). maxCovers > 0
 // caps the result; accept may be nil.
 func (cs *coverSearch) IrredundantCovers(maxCovers int, accept func([]int) bool) [][]int {
+	//viewplan:tracer-field-ok once-per-search load at phase entry; the field batches per-node counters (see the struct comment)
 	sp := cs.tracer.Start(obs.PhaseCoverSearch)
 	defer sp.End()
 	defer cs.publish()

@@ -127,6 +127,7 @@ func (cc *coreComputer) closureUnits(tvArgs cq.TermSet) []SubgoalSet {
 			}
 		}
 	}
+	//viewplan:nondet-ok union-find merges commute: the final partition is the same whatever order the shared-variable edges are applied in, and component order below comes from the sorted subgoal scan, not this loop
 	for _, idxs := range byVar {
 		for k := 1; k < len(idxs); k++ {
 			union(idxs[0], idxs[k])
@@ -179,6 +180,7 @@ func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.Te
 	}
 	s := cq.NewSubst()
 	usedEx := make(cq.TermSet)
+	//viewplan:nondet-ok stores are keyed by the range key and usedEx is a set, so the copied seed mapping is order-independent
 	for v, img := range init {
 		s[v] = img
 		if iv, ok := img.(cq.Var); ok && exSet.Has(iv) {

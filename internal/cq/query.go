@@ -115,8 +115,10 @@ func (q *Query) Validate() error {
 	if len(q.Body) == 0 {
 		return fmt.Errorf("cq: query %s has an empty body", q.Head.Pred)
 	}
+	// Sorted iteration keeps the reported variable deterministic when a
+	// query has several safety violations.
 	body := q.BodyVars()
-	for v := range q.HeadVars() {
+	for _, v := range q.HeadVars().Sorted() {
 		if !body.Has(v) {
 			return fmt.Errorf("cq: unsafe query %s: head variable %s does not appear in the body", q.Head.Pred, v)
 		}
@@ -124,7 +126,7 @@ func (q *Query) Validate() error {
 	for _, c := range q.Comparisons {
 		comp := make(VarSet)
 		c.Vars(comp)
-		for v := range comp {
+		for _, v := range comp.Sorted() {
 			if !body.Has(v) {
 				return fmt.Errorf("cq: unsafe query %s: compared variable %s does not appear in a relational subgoal", q.Head.Pred, v)
 			}

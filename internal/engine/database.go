@@ -306,7 +306,7 @@ func JoinSchema(cur Schema, atom cq.Atom) Schema {
 // reused buffer that the set-semantics insert copies only when the row
 // is new.
 func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*VarRelation, error) {
-	tr := db.tracer
+	tr := db.Tracer()
 	sp := tr.Start(obs.PhaseEngineJoin)
 	defer sp.End()
 	rel := db.rels[atom.Pred]

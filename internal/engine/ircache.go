@@ -65,21 +65,22 @@ func (db *Database) IRLookup(key string, want Schema) (*VarRelation, bool) {
 	if c == nil {
 		return nil, false
 	}
+	tr := db.Tracer()
 	c.mu.Lock()
 	c.lockedSync(db.gen)
 	vr := c.m[key]
 	c.mu.Unlock()
 	if vr != nil {
 		if schemaEqual(vr.Schema, want) {
-			db.tracer.Add(obs.CtrIRCacheHit, 1)
+			tr.Add(obs.CtrIRCacheHit, 1)
 			return vr, true
 		}
 		if re, ok := vr.remapped(want); ok {
-			db.tracer.Add(obs.CtrIRCacheHit, 1)
+			tr.Add(obs.CtrIRCacheHit, 1)
 			return re, true
 		}
 	}
-	db.tracer.Add(obs.CtrIRCacheMiss, 1)
+	tr.Add(obs.CtrIRCacheMiss, 1)
 	return nil, false
 }
 

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //viewplan:<key> <reason> suppression comment.
+// A directive annotates the finding on its own source line and, when
+// the comment stands alone on a line, the line below — so both the
+// trailing form
+//
+//	for k := range m { // viewplan-style trailing annotation
+//
+// and the preceding form
+//
+//	//viewplan:nondet-ok feeds a sorted slice below
+//	for k := range m {
+//
+// work. The reason is everything after the key; an empty reason is an
+// error surfaced by RunAnalyzers.
+type Directive struct {
+	File   string
+	Line   int
+	Col    int
+	Key    string
+	Reason string
+}
+
+// DirectiveSet indexes a package's directives by file and line.
+type DirectiveSet struct {
+	byLine map[string]map[int][]Directive
+	all    []Directive
+}
+
+// At returns the directive with the given key that covers (file, line):
+// one written on that line, or on the line immediately above.
+func (s DirectiveSet) At(file string, line int, key string) (Directive, bool) {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range s.byLine[file][l] {
+			if d.Key == key {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+const directivePrefix = "//viewplan:"
+
+// Directives scans every comment in files for //viewplan: directives.
+func Directives(fset *token.FileSet, files []*ast.File) DirectiveSet {
+	s := DirectiveSet{byLine: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				key, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				d := Directive{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Col:    pos.Column,
+					Key:    strings.TrimSpace(key),
+					Reason: strings.TrimSpace(reason),
+				}
+				if s.byLine[d.File] == nil {
+					s.byLine[d.File] = make(map[int][]Directive)
+				}
+				s.byLine[d.File][d.Line] = append(s.byLine[d.File][d.Line], d)
+				s.all = append(s.all, d)
+			}
+		}
+	}
+	return s
+}

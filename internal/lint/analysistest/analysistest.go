@@ -1,0 +1,104 @@
+// Package analysistest runs one analyzer over GOPATH-style fixture
+// packages and checks its findings against expectations written in the
+// fixtures, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each `// want` comment holds a backquoted (or double-quoted) regular
+// expression that must match a finding reported on that line; findings
+// with no matching want, and wants with no matching finding, fail the
+// test. Suppressed findings (a //viewplan:<key> <reason> annotation)
+// are treated as absent, so fixtures exercise the escape hatch by
+// annotating a line and writing no want for it.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"viewplan/internal/lint/analysis"
+)
+
+// Run loads dir/src/<pkg> for each pkg, applies the analyzer, and
+// compares findings with // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		p, err := analysis.LoadDir(filepath.Join(dir, "src"), pkg)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkg, err)
+			continue
+		}
+		findings, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		check(t, p, findings)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+func check(t *testing.T, p *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						pos := p.Fset.Position(c.Pos())
+						t.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+					}
+					continue
+				}
+				pat := m[2]
+				if pat == "" {
+					pat = m[3]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					pos := p.Fset.Position(c.Pos())
+					t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		if !match(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %v", w.file, w.line, w.re)
+		}
+	}
+}
+
+func match(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

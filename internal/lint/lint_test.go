@@ -1,0 +1,71 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"viewplan/internal/lint"
+	"viewplan/internal/lint/analysis"
+	"viewplan/internal/lint/analysistest"
+)
+
+func TestMapIterDet(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MapIterDet, "mapiterdet")
+}
+
+func TestTracerParam(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.TracerParam, "tracerparam")
+}
+
+func TestInternMix(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.InternMix, "internmix")
+}
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WallClock, "wallclock")
+}
+
+func TestWallClockExemptPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WallClock, "wallclock_exempt")
+}
+
+func TestSortSlice(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SortSlice, "sortslice")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Nilness, "nilness")
+}
+
+// TestDirectiveRequiresReason checks the annotation hygiene rule: a
+// //viewplan: directive with no reason suppresses its finding but
+// surfaces as a "directive" finding of its own, so the run still fails.
+func TestDirectiveRequiresReason(t *testing.T) {
+	p, err := analysis.LoadDir("testdata/src", "directivereason")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{lint.MapIterDet})
+	if err != nil {
+		t.Fatalf("running mapiterdet: %v", err)
+	}
+	var directive, unsuppressed int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "directive":
+			directive++
+			if !strings.Contains(f.Message, "needs a one-line reason") {
+				t.Errorf("directive finding has unexpected message: %s", f)
+			}
+		case !f.Suppressed:
+			unsuppressed++
+			t.Errorf("unexpected unsuppressed finding: %s", f)
+		}
+	}
+	if directive != 1 {
+		t.Errorf("got %d directive findings, want 1", directive)
+	}
+	if unsuppressed != 0 {
+		t.Errorf("got %d unsuppressed analyzer findings, want 0 (directive suppresses, its own finding fails the run)", unsuppressed)
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"viewplan/internal/lint/analysis"
+)
+
+// Nilness is a source-level subset of the x/tools nilness analyzer
+// (the SSA-based original needs golang.org/x/tools/go/ssa, which this
+// container cannot vendor). It reports field accesses and explicit
+// dereferences of a pointer inside a branch where the pointer is
+// provably nil:
+//
+//	if p == nil { … p.field … }   // or: if p != nil { } else { … *p … }
+//
+// Method calls on a nil receiver are deliberately not reported — the
+// obs package's nil-safe *Tracer idiom makes them legal and load-
+// bearing here. Tracking stops conservatively at any reassignment of
+// the pointer or capture of its address within the branch.
+var Nilness = &analysis.Analyzer{
+	Name:     "nilness",
+	Doc:      "flags field accesses and dereferences of pointers inside branches where the pointer is provably nil (source-level subset of x/tools nilness)",
+	Suppress: "lint-ok",
+	Run:      runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, op := nilComparison(pass.TypesInfo, st.Cond)
+			if obj == nil {
+				return true
+			}
+			var nilBranch []ast.Stmt
+			switch {
+			case op == token.EQL:
+				nilBranch = st.Body.List
+			case op == token.NEQ && st.Else != nil:
+				if blk, ok := st.Else.(*ast.BlockStmt); ok {
+					nilBranch = blk.List
+				}
+			}
+			if nilBranch != nil {
+				scanNilBranch(pass, obj, nilBranch)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison matches `x == nil` / `x != nil` where x is a plain
+// pointer-typed identifier, returning its object and the operator.
+func nilComparison(info *types.Info, cond ast.Expr) (types.Object, token.Token) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, 0
+	}
+	x, y := be.X, be.Y
+	if info.Types[x].IsNil() {
+		x, y = y, x
+	}
+	if !info.Types[y].IsNil() {
+		return nil, 0
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, 0
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, 0
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return nil, 0
+	}
+	return obj, be.Op
+}
+
+// scanNilBranch walks the branch statements in order, reporting
+// dereferences of obj until something invalidates the nil fact.
+func scanNilBranch(pass *analysis.Pass, obj types.Object, stmts []ast.Stmt) {
+	info := pass.TypesInfo
+	invalidated := false
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		if invalidated {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && info.Uses[id] == obj {
+					invalidated = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id, ok := x.X.(*ast.Ident); ok && info.Uses[id] == obj {
+					invalidated = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			return false // different control flow; stay conservative
+		case *ast.StarExpr:
+			if id, ok := x.X.(*ast.Ident); ok && info.Uses[id] == obj {
+				pass.Reportf(x.Pos(), "dereference of %s, which is nil on this branch", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			id, ok := x.X.(*ast.Ident)
+			if !ok || info.Uses[id] != obj {
+				return true
+			}
+			if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				pass.Reportf(x.Pos(), "field access %s.%s, but %s is nil on this branch",
+					obj.Name(), x.Sel.Name, obj.Name())
+			}
+		}
+		return true
+	}
+	for _, s := range stmts {
+		if invalidated {
+			return
+		}
+		ast.Inspect(s, scan)
+	}
+}

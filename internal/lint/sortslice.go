@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"viewplan/internal/lint/analysis"
+)
+
+// SortSlice ports the x/tools sortslice check `go vet` does not run:
+// sort.Slice / sort.SliceStable / sort.SliceIsSorted called with a
+// first argument that is not a slice panic at runtime ("sort.Slice
+// called with a non-slice value") — typically an array or a pointer to
+// a slice that compiled fine because the parameter is `any`.
+var SortSlice = &analysis.Analyzer{
+	Name: "sortslice",
+	Doc:  "flags sort.Slice/SliceStable/SliceIsSorted whose first argument is not a slice (runtime panic)",
+	Run:  runSortSlice,
+}
+
+var sortSliceFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "SliceIsSorted": true,
+}
+
+func runSortSlice(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !sortSliceFuncs[sel.Sel.Name] || pkgPathOf(pass.TypesInfo, sel.X) != "sort" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Interface, *types.TypeParam:
+				return true // fine, or not decidable statically
+			}
+			pass.Reportf(call.Args[0].Pos(),
+				"sort.%s's first argument must be a slice; %s panics at runtime",
+				sel.Sel.Name, tv.Type.String())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// The directivereason fixture holds a suppression annotation with no
+// justification: RunAnalyzers must surface it as a "directive" finding
+// so annotations can never silently drop their reasons. Checked by a
+// direct test rather than // want comments (the want would become the
+// directive's reason).
+package corecover
+
+func emit(m map[string]int) []string {
+	var out []string
+	//viewplan:nondet-ok
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+// Package engine is the fixtures' stand-in for the real
+// internal/engine interning API: internmix matches Interner/Database
+// and the ID/Lookup/Value method set by name, so this mirror drives it
+// exactly as the real package would.
+package engine
+
+// Value mirrors the interned constant type.
+type Value string
+
+// Interner mirrors the real symbol table: dense uint32 ids private to
+// one table.
+type Interner struct{ vals []Value }
+
+// ID interns v and returns its dense id.
+func (in *Interner) ID(v Value) uint32 {
+	in.vals = append(in.vals, v)
+	return uint32(len(in.vals) - 1)
+}
+
+// Lookup returns v's id without interning.
+func (in *Interner) Lookup(v Value) (uint32, bool) {
+	for i, have := range in.vals {
+		if have == v {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+// Value resolves an id produced by this interner.
+func (in *Interner) Value(id uint32) Value { return in.vals[id] }
+
+// Database mirrors the real database's delegation to its interner.
+type Database struct{ in Interner }
+
+// ID interns through the database's own table.
+func (db *Database) ID(v Value) uint32 { return db.in.ID(v) }
+
+// Value resolves against the database's own table.
+func (db *Database) Value(id uint32) Value { return db.in.Value(id) }

@@ -1,0 +1,59 @@
+// The internmix fixture drives the interner-boundary analyzer with the
+// stand-in engine package. crossDatabase replays the seeded regression:
+// an id interned by one Database resolved against another.
+package kernel
+
+import "engine"
+
+// crossInterner resolves an id from table a against table b.
+func crossInterner(a, b *engine.Interner, v engine.Value) engine.Value {
+	id := a.ID(v)
+	return b.Value(id) // want `ids are private to one interner`
+}
+
+// sameInterner keeps the id inside its own table.
+func sameInterner(a *engine.Interner, v engine.Value) engine.Value {
+	id := a.ID(v)
+	return a.Value(id)
+}
+
+// crossDatabase is the two-Database case: same bug one layer up.
+func crossDatabase(db1, db2 *engine.Database, v engine.Value) engine.Value {
+	id := db1.ID(v)
+	return db2.Value(id) // want `ids are private to one interner`
+}
+
+// translate re-interns explicitly — the PR 3 kernel's foreign-row
+// pattern — and needs no annotation.
+func translate(db1, db2 *engine.Database, v engine.Value) uint32 {
+	id := db1.ID(v)
+	return db2.ID(db1.Value(id))
+}
+
+// copied exercises provenance propagation through an id copy.
+func copied(a, b *engine.Interner, v engine.Value) engine.Value {
+	id := a.ID(v)
+	alias := id
+	return b.Value(alias) // want `ids are private to one interner`
+}
+
+// mintRaw converts a raw integer into an id position, bypassing the
+// interner.
+func mintRaw(in *engine.Interner, x int) engine.Value {
+	return in.Value(uint32(x)) // want `raw integer converted`
+}
+
+// compareMixed compares ids from different tables: equal ids name
+// unrelated values.
+func compareMixed(a, b *engine.Interner, v engine.Value) bool {
+	ida := a.ID(v)
+	idb := b.ID(v)
+	return ida == idb // want `different interners`
+}
+
+// annotatedMix exercises the escape hatch.
+func annotatedMix(a, b *engine.Interner, v engine.Value) engine.Value {
+	id := a.ID(v)
+	//viewplan:intern-ok fixture: b is a verified clone of a with an identical table
+	return b.Value(id)
+}

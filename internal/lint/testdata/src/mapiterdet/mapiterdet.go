@@ -1,0 +1,103 @@
+// The mapiterdet fixture declares package corecover so the analyzer
+// treats it as determinism-critical. The first case replays the seeded
+// PR 2 regression: emitting map-range results without sorting.
+package corecover
+
+import "sort"
+
+// emit appends map keys in range order straight into the result — the
+// classic nondeterministic-output bug.
+func emit(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// emitSorted is the fix: the sink is sorted before use.
+func emitSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortLocal exercises the package-local sort* helper rule (the real cq
+// package keeps a dependency-free sortVars).
+func sortLocal(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	sort.Strings(xs)
+}
+
+// sum folds commutatively: order-independent.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// minVal is a min-fold: order-independent.
+func minVal(m map[string]int) int {
+	best := int(^uint(0) >> 1)
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// transfer stores keyed by the range key: iterations write disjoint
+// entries.
+func transfer(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// subtract deletes: set subtraction commutes.
+func subtract(m, remove map[string]int) {
+	for k := range remove {
+		delete(m, k)
+	}
+}
+
+// varSet mirrors cq.VarSet: a map-backed set with an Add method.
+type varSet map[string]struct{}
+
+// Add inserts k.
+func (s varSet) Add(k string) { s[k] = struct{}{} }
+
+// collect inserts range keys into a set: map keys are distinct, so the
+// inserts commute (the cq.VarSet.Add pattern).
+func collect(m map[string]int, s varSet) {
+	for k := range m {
+		s.Add(k)
+	}
+}
+
+// annotated exercises the escape hatch: the directive suppresses the
+// finding, so no want is written here.
+func annotated(m map[string]int) []string {
+	var out []string
+	//viewplan:nondet-ok fixture: callers scramble this list before any comparison
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// The nilness fixture drives the source-level subset: field accesses
+// and dereferences inside branches where the pointer is provably nil.
+package nilcheck
+
+type node struct {
+	next *node
+	val  int
+}
+
+// bad reads a field on the nil branch.
+func bad(n *node) int {
+	if n == nil {
+		return n.val // want `nil on this branch`
+	}
+	return 0
+}
+
+// badElse reaches the nil fact through the else of a != guard.
+func badElse(n *node) int {
+	if n != nil {
+		return n.val
+	} else {
+		return n.next.val // want `nil on this branch`
+	}
+}
+
+// badDeref dereferences explicitly.
+func badDeref(p *int) int {
+	if p == nil {
+		return *p // want `dereference of p`
+	}
+	return *p
+}
+
+// reassigned invalidates the nil fact before the read.
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+type tracerLike struct{ n int }
+
+func (t *tracerLike) log() {}
+
+// methodOnNil calls a method on a nil receiver: deliberately not
+// reported — the obs package's nil-safe *Tracer idiom depends on it.
+func methodOnNil(t *tracerLike) {
+	if t == nil {
+		t.log()
+	}
+}
+
+// annotated exercises the lint-ok escape hatch.
+func annotated(n *node) int {
+	if n == nil {
+		//viewplan:lint-ok fixture: documents the suppression path; unreachable in callers
+		return n.val
+	}
+	return n.val
+}

@@ -1,0 +1,37 @@
+// Package obs is the fixtures' stand-in for the real internal/obs:
+// analyzers match types structurally by package and type name, so this
+// tiny mirror exercises them exactly as the real package would.
+package obs
+
+// Tracer mirrors the nil-safe tracer's API surface.
+type Tracer struct{ n int64 }
+
+// New returns a fresh tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Counter and Phase mirror the real enums.
+type Counter int
+
+type Phase int
+
+// CtrNodes and PhaseSearch give fixtures something to record.
+const CtrNodes Counter = 0
+
+const PhaseSearch Phase = 0
+
+// Span mirrors the real span; holding the tracer in a field is the
+// sanctioned exception (package obs is not tracer-critical).
+type Span struct{ t *Tracer }
+
+// Add accumulates a counter; nil-safe like the real tracer.
+func (t *Tracer) Add(c Counter, n int64) {
+	if t != nil {
+		t.n += n
+	}
+}
+
+// Start opens a span.
+func (t *Tracer) Start(p Phase) *Span { return &Span{t: t} }
+
+// End closes the span.
+func (s *Span) End() {}

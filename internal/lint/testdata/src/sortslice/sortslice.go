@@ -1,0 +1,27 @@
+// The sortslice fixture drives the ported x/tools check: sort.Slice on
+// a non-slice compiles (the parameter is any) and panics at runtime.
+package sortutil
+
+import "sort"
+
+// sortArray passes an array: runtime panic.
+func sortArray() {
+	var a [4]int
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] }) // want `must be a slice`
+}
+
+// sortPointer passes a pointer to a slice: also a runtime panic.
+func sortPointer(xs *[]int) {
+	sort.SliceStable(xs, func(i, j int) bool { return (*xs)[i] < (*xs)[j] }) // want `must be a slice`
+}
+
+// sortSlice is the correct call.
+func sortSlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// sortAny passes an interface value: not statically decidable, so the
+// analyzer stays quiet.
+func sortAny(v any) {
+	sort.Slice(v, func(i, j int) bool { return i < j })
+}

@@ -1,0 +1,51 @@
+// The tracerparam fixture declares package cost so the analyzer treats
+// it as tracer-critical. The first case replays the seeded PR 1
+// regression: a hot-path method loading the tracer from a struct field.
+package cost
+
+import "obs"
+
+type scorer struct {
+	tracer *obs.Tracer
+	nodes  int64
+}
+
+// score loads the tracer from its receiver mid-pipeline — the PR 1
+// escape-analysis hazard.
+func (s *scorer) score() {
+	s.tracer.Add(obs.CtrNodes, 1) // want `loaded from a struct field`
+}
+
+// Tracer is the sanctioned single-return accessor.
+func (s *scorer) Tracer() *obs.Tracer { return s.tracer }
+
+// SetTracer stores into the field: attachment, not a load.
+func (s *scorer) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+}
+
+// walk threads the tracer as a parameter — the blessed shape.
+func walk(tr *obs.Tracer, depth int) {
+	sp := tr.Start(obs.PhaseSearch)
+	defer sp.End()
+	tr.Add(obs.CtrNodes, int64(depth))
+}
+
+// Options mirrors corecover.Options: a by-value config struct.
+type Options struct {
+	Tracer *obs.Tracer
+	Limit  int
+}
+
+// run loads the tracer from a by-value parameter: caller-local, so the
+// long-lived-receiver escape hazard does not apply.
+func run(opts Options) {
+	opts.Tracer.Add(obs.CtrNodes, 1)
+}
+
+// annotated exercises the escape hatch.
+func (s *scorer) annotated() {
+	//viewplan:tracer-field-ok fixture: one-shot load at phase entry, off the per-node path
+	tr := s.tracer
+	tr.Add(obs.CtrNodes, s.nodes)
+}

@@ -1,0 +1,36 @@
+// The wallclock fixture declares package cost, replaying the seeded
+// regression: wall-clock reads inside the cost model would make plan
+// scores (and every cache keyed by them) time-dependent.
+package cost
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badNow reads the wall clock on a scoring path.
+func badNow() int64 {
+	return time.Now().UnixNano() // want `wall clock`
+}
+
+// badSince measures elapsed time outside the obs layer.
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock`
+}
+
+// badRand draws from the process-global, process-seeded source.
+func badRand() int {
+	return rand.Intn(10) // want `global math/rand source`
+}
+
+// seeded builds an explicitly-seeded generator: determinism comes from
+// the caller's seed, so this is allowed everywhere.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// annotatedNow exercises the escape hatch.
+func annotatedNow() int64 {
+	return time.Now().UnixNano() //viewplan:nondet-ok fixture: report-only timing, never fed back into scores
+}

@@ -1,0 +1,19 @@
+// The exempt fixture declares package workload: synthetic-data
+// generation may read the clock and the global source, so the analyzer
+// reports nothing here.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock; legal in workload.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// draw uses the global source; legal in workload.
+func draw() int {
+	return rand.Intn(100)
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"viewplan/internal/lint/analysis"
+)
+
+// TracerParam encodes the PR 1 escape-analysis rule: on planning hot
+// paths the tracer travels as a function parameter, never as a struct
+// field read mid-pipeline. Go's escape analysis is field-insensitive,
+// so a method that loads its receiver's *obs.Tracer can force
+// everything reachable from the receiver (the verifier's cache map, in
+// the PR 1 finding) to the heap — and the load also hides the tracer's
+// flow from the reader.
+//
+// The analyzer flags every read of a struct field of type *obs.Tracer
+// in hot-path packages. Blessed patterns that pass:
+//
+//   - taking the tracer as a parameter (nothing to flag),
+//   - a single-statement accessor method (`func (db *Database) Tracer()
+//     *obs.Tracer { return db.tracer }`) — the one sanctioned load,
+//     which callers invoke once at phase entry,
+//   - stores into the field (SetTracer-style setters),
+//   - loads from a struct-valued parameter (opts Options): a by-value
+//     config struct is caller-local, so the field-insensitive escape
+//     hazard of long-lived receivers does not apply.
+//
+// A deliberate once-per-phase field load is annotated
+// //viewplan:tracer-field-ok <reason> with the argument for why the
+// load is off the per-item path.
+var TracerParam = &analysis.Analyzer{
+	Name:     "tracerparam",
+	Doc:      "flags *obs.Tracer struct-field loads in hot-path packages; tracers are threaded as parameters (PR 1 escape rule)",
+	Suppress: "tracer-field-ok",
+	Run:      runTracerParam,
+}
+
+func runTracerParam(pass *analysis.Pass) error {
+	if !tracerCritical[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcBodies(f, func(node ast.Node, body *ast.BlockStmt) {
+			if fd, ok := node.(*ast.FuncDecl); ok && isTracerAccessor(pass.TypesInfo, fd) {
+				return
+			}
+			stores := fieldStores(body)
+			valueParams := structValueParams(pass.TypesInfo, node, body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := pass.TypesInfo.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				if !isPtrToNamed(selection.Type(), "obs", "Tracer") {
+					return true
+				}
+				if stores[sel] {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && valueParams[pass.TypesInfo.Uses[id]] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"*obs.Tracer loaded from a struct field in hot-path package %q: "+
+						"thread the tracer as a parameter (PR 1 escape rule), read it once via an accessor at phase entry, "+
+						"or annotate //viewplan:tracer-field-ok <reason>",
+					pass.Pkg.Name())
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// isTracerAccessor matches the sanctioned single-return accessor whose
+// entire body is `return <recv>.<tracerField>`.
+func isTracerAccessor(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	sel, ok := ret.Results[0].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := info.Selections[sel]
+	return selection != nil && selection.Kind() == types.FieldVal &&
+		isPtrToNamed(selection.Type(), "obs", "Tracer")
+}
+
+// structValueParams collects the by-value struct parameters of the
+// enclosing function and of every function literal inside its body.
+func structValueParams(info *types.Info, node ast.Node, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	add := func(ft *ast.FuncType) {
+		if ft == nil || ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isStruct := obj.Type().Underlying().(*types.Struct); isStruct {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	switch fn := node.(type) {
+	case *ast.FuncDecl:
+		add(fn.Type)
+	case *ast.FuncLit:
+		add(fn.Type)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			add(fl.Type)
+		}
+		return true
+	})
+	return out
+}
+
+// fieldStores collects selector expressions that are assignment
+// targets: writing the field is how tracers get attached, not a load.
+func fieldStores(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				out[sel] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"viewplan/internal/lint/analysis"
+)
+
+// WallClock keeps clock and global-seed randomness out of the planner:
+// a Result that depends on time.Now or the process-global math/rand
+// source is not byte-reproducible, and a canonical form that embeds a
+// timestamp poisons every cache keyed by it.
+//
+// Allowed everywhere: seeded generator construction (rand.New,
+// rand.NewSource, rand.NewZipf, and the v2 PCG/ChaCha8 sources) and
+// method calls on the resulting *rand.Rand — determinism comes from
+// the caller-supplied seed. Allowed packages: obs (spans time
+// themselves), workload (seeded synthetic data), and package main
+// (cmd binaries reporting wall times to humans). Test files are not
+// analyzed. Anything else needs //viewplan:nondet-ok <reason>.
+var WallClock = &analysis.Analyzer{
+	Name:     "wallclock",
+	Doc:      "forbids time.Now/global math/rand outside obs, workload, tests, and cmd binaries, so planner output cannot depend on clock or seed",
+	Suppress: "nondet-ok",
+	Run:      runWallClock,
+}
+
+// bannedTimeFuncs read the wall clock or schedule against it.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// allowedRandFuncs construct explicitly-seeded generators.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(pass *analysis.Pass) error {
+	if wallClockExempt[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgPathOf(pass.TypesInfo, sel.X) {
+			case "time":
+				if bannedTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in package %q makes output depend on the wall clock; "+
+							"measure in obs/cmd layers, or annotate //viewplan:nondet-ok <reason>",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions draw from the global
+				// (process-seeded) source; types, constants, and the
+				// seeded constructors stay legal.
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				if allowedRandFuncs[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the global math/rand source in package %q; "+
+						"use a seeded *rand.Rand (rand.New(rand.NewSource(seed))), or annotate //viewplan:nondet-ok <reason>",
+					sel.Sel.Name, pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -303,9 +303,16 @@ func finishMCD(q *cq.Query, v *views.View, dist cq.VarSet, h *headHom, phi map[c
 	// Build the contributed view literal: each head position gets the
 	// query variable mapping to its class, the pinned constant, or a
 	// fresh variable.
+	// Two query variables can map into the same head-homomorphism class;
+	// iterate in sorted order so the surviving witness in inverse is
+	// deterministic rather than whichever the map range yielded last.
 	inverse := make(map[cq.Term]cq.Var)
-	for qv, img := range phi {
-		if iv, ok := img.(cq.Var); ok && dist.Has(iv) {
+	phiVars := make(cq.VarSet, len(phi))
+	for qv := range phi {
+		phiVars.Add(qv)
+	}
+	for _, qv := range phiVars.Sorted() {
+		if iv, ok := phi[qv].(cq.Var); ok && dist.Has(iv) {
 			inverse[h.image(iv)] = qv
 		}
 	}
@@ -427,6 +434,7 @@ func Rewritings(q *cq.Query, vs *views.Set, opts Options) []*cq.Query {
 			}
 			// MiniCon combination: covered sets must be pairwise disjoint.
 			disjoint := true
+			//viewplan:nondet-ok existence check: any overlapping subgoal yields the same verdict, so which one triggers the break is immaterial
 			for c := range m.Covered {
 				if _, miss := uncovered[c]; !miss {
 					disjoint = false

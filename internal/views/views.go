@@ -141,7 +141,9 @@ func (s *Set) Expand(p *cq.Query) (*cq.Query, error) {
 					sub, fv, v.Name())
 			}
 		}
-		for ev := range v.Def.ExistentialVars() {
+		// Sorted order pins which existential variable gets which fresh
+		// name, keeping expansions byte-identical across runs.
+		for _, ev := range v.Def.ExistentialVars().Sorted() {
 			bind[ev] = gen.Fresh()
 		}
 		body = append(body, bind.Atoms(v.Def.Body)...)

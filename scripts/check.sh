@@ -1,10 +1,15 @@
 #!/bin/sh
-# check.sh — fast pre-commit gate: vet everything, then run the
+# check.sh — fast pre-commit gate: vet everything, run viewplanlint
+# (the repo's own analyzer suite: determinism, tracer-threading, and
+# intern-safety invariants; see internal/lint), then run the
 # observability, planner-core, and view-tuple tests with the race
 # detector (the obs counters, the hom cache, and the parallel fanout
 # are the only shared mutable state on the hot path, so these are the
 # packages where a data race would hide), and finish with a short fuzz
 # smoke of the cq parser.
+#
+# The lint binary is built once into bin/ (go's build cache makes the
+# rebuild a no-op when nothing changed), keeping the whole gate fast.
 #
 # VIEWPLAN_PARALLEL=8 forces the differential tests to drive the
 # parallel planner paths with a wide worker pool even on small machines,
@@ -16,6 +21,10 @@ cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== viewplanlint ./... (per-analyzer counts on stderr)"
+go build -o bin/viewplanlint ./cmd/viewplanlint
+./bin/viewplanlint ./...
 
 echo "== go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/... (VIEWPLAN_PARALLEL=8)"
 VIEWPLAN_PARALLEL=8 go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/...
