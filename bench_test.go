@@ -397,6 +397,32 @@ func BenchmarkFig6aStarM2(b *testing.B) {
 	}
 }
 
+// The planning-only benchmark the `make bench` gate watches alongside
+// the M2 engine benchmark: CoreCover rewriting generation on the
+// Figure 6(a) star workload at 200 views, engine evaluation excluded.
+// Sequential (Parallelism 1), so allocs/op is deterministic and the
+// whole run exercises the interned planning kernel: canonical-DB
+// homomorphism search, tuple-cores, and the bitset cover search.
+func BenchmarkFig6aStarPlanning(b *testing.B) {
+	inst := benchInstance(b, workload.Config{
+		Shape:         workload.Star,
+		QuerySubgoals: 8,
+		NumViews:      200,
+		Seed:          42,
+	})
+	opts := corecover.Options{Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := corecover.CoreCover(inst.Query, inst.Views, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rewritings) == 0 {
+			b.Fatal("no rewriting")
+		}
+	}
+}
+
 // The M3 order search on the same workload (renaming heuristic). Kept at
 // 100 views and a small candidate cap: M3 is factorial in the rewriting
 // body size.

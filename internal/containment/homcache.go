@@ -24,6 +24,24 @@ import (
 type HomCache struct {
 	mu sync.RWMutex
 	m  map[homKey]bool
+
+	// keys memoizes cq.ExactCanonicalKey per query, keyed by pointer
+	// identity. The planner probes the same handful of *cq.Query values
+	// (the minimized query, the view definitions, their expansions)
+	// against each other many times; without this cache every HasMapping
+	// probe re-canonicalizes both sides from scratch. Pointer keying is
+	// sound because planner queries are immutable once built — the same
+	// invariant HasMapping already relies on for its verdict cache.
+	keyMu sync.RWMutex
+	keys  map[*cq.Query]queryKey
+}
+
+// queryKey is one memoized canonicalization outcome: the key string and
+// whether the query has an exact canonical form at all. Negative results
+// are cached too — a query that declines once declines always.
+type queryKey struct {
+	key string
+	ok  bool
 }
 
 // homKey identifies one ordered (from, to) canonical pair.
@@ -31,14 +49,39 @@ type homKey struct {
 	from, to string
 }
 
+// CanonicalKeyOf returns cq.ExactCanonicalKey(q), memoized per query on
+// the cache. Only actual canonicalizations count into obs.Global
+// (CtrCanonicalKeyBuilds); hits are free. A nil cache computes directly.
+func (c *HomCache) CanonicalKeyOf(q *cq.Query) (string, bool) {
+	if c != nil {
+		c.keyMu.RLock()
+		e, done := c.keys[q]
+		c.keyMu.RUnlock()
+		if done {
+			return e.key, e.ok
+		}
+	}
+	obs.Global.Add(obs.CtrCanonicalKeyBuilds, 1)
+	k, ok := cq.ExactCanonicalKey(q)
+	if c != nil {
+		c.keyMu.Lock()
+		if c.keys == nil {
+			c.keys = make(map[*cq.Query]queryKey)
+		}
+		c.keys[q] = queryKey{key: k, ok: ok}
+		c.keyMu.Unlock()
+	}
+	return k, ok
+}
+
 // keyFor builds the cache key for a mapping check from `from` onto `to`,
 // reporting whether the pair is cacheable.
-func keyFor(from, to *cq.Query) (homKey, bool) {
-	kf, ok := cq.ExactCanonicalKey(from)
+func (c *HomCache) keyFor(from, to *cq.Query) (homKey, bool) {
+	kf, ok := c.CanonicalKeyOf(from)
 	if !ok {
 		return homKey{}, false
 	}
-	kt, ok := cq.ExactCanonicalKey(to)
+	kt, ok := c.CanonicalKeyOf(to)
 	if !ok {
 		return homKey{}, false
 	}
@@ -52,10 +95,9 @@ func keyFor(from, to *cq.Query) (homKey, bool) {
 // a renamed copy, which is exactly what equal keys may be.
 func (c *HomCache) HasMapping(from, to *cq.Query) bool {
 	if c == nil {
-		_, ok := FindContainmentMapping(from, to)
-		return ok
+		return hasContainmentMapping(from, to)
 	}
-	key, cacheable := keyFor(from, to)
+	key, cacheable := c.keyFor(from, to)
 	if cacheable {
 		c.mu.RLock()
 		v, done := c.m[key]
@@ -66,7 +108,7 @@ func (c *HomCache) HasMapping(from, to *cq.Query) bool {
 		}
 	}
 	obs.Global.Add(obs.CtrHomCacheMiss, 1)
-	_, ok := FindContainmentMapping(from, to)
+	ok := hasContainmentMapping(from, to)
 	if cacheable {
 		c.mu.Lock()
 		if c.m == nil {

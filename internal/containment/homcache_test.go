@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"viewplan/internal/cq"
+	"viewplan/internal/obs"
 )
 
 func TestHomCacheContainsMatchesUncached(t *testing.T) {
@@ -67,6 +68,32 @@ func TestHomCacheNilFallsThrough(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Fatal("nil cache must report Len 0")
+	}
+}
+
+func TestHomCacheCanonicalKeyMemoized(t *testing.T) {
+	c := &HomCache{}
+	q1 := cq.MustParseQuery("q(X, Y) :- e(X, Z), e(Z, Y)")
+	q2 := cq.MustParseQuery("q(A, B) :- e(A, C), e(C, B), e(A, D)")
+	before := obs.Global.Get(obs.CtrCanonicalKeyBuilds)
+	c.HasMapping(q1, q2)
+	afterFirst := obs.Global.Get(obs.CtrCanonicalKeyBuilds)
+	if got := afterFirst - before; got != 2 {
+		t.Fatalf("first probe built %d canonical keys, want 2", got)
+	}
+	// Re-probing the same query pointers — in either order — must answer
+	// the key lookups from the per-query cache without rebuilding.
+	c.HasMapping(q1, q2)
+	c.HasMapping(q2, q1)
+	if got := obs.Global.Get(obs.CtrCanonicalKeyBuilds) - afterFirst; got != 0 {
+		t.Fatalf("repeat probes built %d canonical keys, want 0", got)
+	}
+	k1, ok := c.CanonicalKeyOf(q1)
+	if !ok || k1 == "" {
+		t.Fatalf("CanonicalKeyOf(q1) = %q, %v; want cached key", k1, ok)
+	}
+	if want, _ := cq.ExactCanonicalKey(q1); k1 != want {
+		t.Fatalf("cached key %q differs from direct build %q", k1, want)
 	}
 }
 

@@ -16,7 +16,6 @@ package containment
 
 import (
 	"viewplan/internal/cq"
-	"viewplan/internal/obs"
 )
 
 // Homs enumerates homomorphisms of the atom list src into the atom list
@@ -25,66 +24,22 @@ import (
 // yield returns false. Constants must map to themselves; variables bound
 // by init are respected.
 //
-// The search orders source atoms most-constrained-first (fewest candidate
-// target atoms) and indexes the target by predicate, which keeps the
-// exponential worst case far away for the query sizes this library works
-// with.
-// Every search counts into obs.Global (CtrHomSearches, and CtrHomsFound
-// per homomorphism yielded); tracers attribute the work to a run by
-// sampling the global counters around it.
+// The search compiles the target into an interned HomTarget (dense
+// per-predicate candidate lists over uint32 ids), orders source atoms
+// most-constrained-first, binds variables through a flat frame, and
+// forward-checks each fresh binding against future atoms' candidate
+// lists, which keeps the exponential worst case far away for the query
+// sizes this library works with. Callers probing one target repeatedly
+// should compile it once with NewHomTarget instead.
+// Every search counts into obs.Global (CtrHomSearches; CtrHomsFound per
+// homomorphism yielded; CtrHomBacktracks/CtrHomPrunes for undone and
+// eliminated candidate placements); tracers attribute the work to a run
+// by sampling the global counters around it.
 func Homs(src, target []cq.Atom, init cq.Subst, yield func(cq.Subst) bool) {
-	obs.Global.Add(obs.CtrHomSearches, 1)
-	idx := indexByPred(target)
-	order := planOrder(src, idx)
-	s := cq.NewSubst()
-	for v, t := range init {
-		s[v] = t
-	}
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == len(order) {
-			obs.Global.Add(obs.CtrHomsFound, 1)
-			return yield(s.Clone())
-		}
-		a := order[i]
-		for _, cand := range idx[a.Pred] {
-			if len(cand.Args) != len(a.Args) {
-				continue
-			}
-			trail := make([]cq.Var, 0, len(a.Args))
-			ok := true
-			for j := range a.Args {
-				switch t := a.Args[j].(type) {
-				case cq.Const:
-					if t != cand.Args[j] {
-						ok = false
-					}
-				case cq.Var:
-					if img, bound := s[t]; bound {
-						if img != cand.Args[j] {
-							ok = false
-						}
-					} else {
-						s[t] = cand.Args[j]
-						trail = append(trail, t)
-					}
-				}
-				if !ok {
-					break
-				}
-			}
-			if ok {
-				if !rec(i + 1) {
-					return false
-				}
-			}
-			for _, v := range trail {
-				delete(s, v)
-			}
-		}
-		return true
-	}
-	rec(0)
+	t := homTargetPool.Get().(*HomTarget)
+	t.compile(target)
+	t.Homs(src, init, yield)
+	homTargetPool.Put(t)
 }
 
 // HasHom reports whether at least one homomorphism from src into target
@@ -106,54 +61,6 @@ func AllHoms(src, target []cq.Atom, init cq.Subst, limit int) []cq.Subst {
 		out = append(out, h)
 		return limit <= 0 || len(out) < limit
 	})
-	return out
-}
-
-func indexByPred(atoms []cq.Atom) map[string][]cq.Atom {
-	idx := make(map[string][]cq.Atom)
-	for _, a := range atoms {
-		idx[a.Pred] = append(idx[a.Pred], a)
-	}
-	return idx
-}
-
-// planOrder returns src reordered so atoms with fewer candidate targets
-// come first, with a greedy preference for atoms sharing variables with
-// already-placed atoms (to propagate bindings early).
-func planOrder(src []cq.Atom, idx map[string][]cq.Atom) []cq.Atom {
-	n := len(src)
-	if n <= 1 {
-		return src
-	}
-	used := make([]bool, n)
-	bound := make(cq.VarSet)
-	out := make([]cq.Atom, 0, n)
-	for len(out) < n {
-		best, bestScore := -1, 0
-		for i, a := range src {
-			if used[i] {
-				continue
-			}
-			// Score: candidate count minus a bonus for each already-bound
-			// variable (bound variables prune candidates sharply).
-			score := len(idx[a.Pred]) * 4
-			for _, t := range a.Args {
-				if v, ok := t.(cq.Var); ok && bound.Has(v) {
-					score -= 3
-				}
-				if cq.IsConst(t) {
-					score--
-				}
-			}
-			if best == -1 || score < bestScore {
-				best, bestScore = i, score
-			}
-		}
-		used[best] = true
-		a := src[best]
-		a.Vars(bound)
-		out = append(out, a)
-	}
 	return out
 }
 
@@ -189,6 +96,41 @@ func FindContainmentMapping(from, to *cq.Query) (cq.Subst, bool) {
 	return found, true
 }
 
+// hasContainmentMapping reports whether a containment mapping from `from`
+// onto `to` exists, without materializing the witness. Existence-only
+// callers (Contains, Minimize) go through here: the comparison-free case
+// stops the frame search at the first homomorphism and never builds the
+// map-backed substitution FindContainmentMapping returns. When `from`
+// carries comparisons the implication filter needs the full mapping, so
+// the call falls through.
+func hasContainmentMapping(from, to *cq.Query) bool {
+	if len(from.Comparisons) > 0 {
+		_, ok := FindContainmentMapping(from, to)
+		return ok
+	}
+	init, ok := headSeed(from, to)
+	if !ok {
+		return false
+	}
+	return hasSeededMapping(from, to, init)
+}
+
+// hasSeededMapping is the comparison-free existence check under a
+// precomputed head seed, for callers that probe many candidates with an
+// unchanged head (Minimize reuses one seed across its whole removal
+// loop).
+func hasSeededMapping(from, to *cq.Query, init cq.Subst) bool {
+	found := false
+	t := homTargetPool.Get().(*HomTarget)
+	t.compile(to.Body)
+	t.HomsFrame(from.Body, init, func(cq.ISubst) bool {
+		found = true
+		return false
+	})
+	homTargetPool.Put(t)
+	return found
+}
+
 // headSeed builds the initial substitution forcing from's head onto to's
 // head, or reports impossibility (predicate/arity mismatch, or a constant
 // conflict in the head).
@@ -218,8 +160,7 @@ func Contains(q1, q2 *cq.Query) bool {
 	if len(q1.Comparisons) > 0 && !SatisfiableComparisons(q1.Comparisons) {
 		return true
 	}
-	_, ok := FindContainmentMapping(q2, q1)
-	return ok
+	return hasContainmentMapping(q2, q1)
 }
 
 // SatisfiableComparisons reports whether a conjunction of comparisons has

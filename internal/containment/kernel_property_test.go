@@ -1,0 +1,148 @@
+package containment_test
+
+// Differential property tests for the interned homomorphism kernel: the
+// indexed, frame-based search must enumerate exactly the substitution
+// set of the textbook reference below — a direct transliteration of the
+// pre-kernel map-based backtracking — on generated planner workloads and
+// on hand-picked adversarial shapes. Comparison is order-insensitive
+// (sorted multisets): the kernel owes callers the same *set* of
+// homomorphisms; yield order is pinned separately by the end-to-end
+// byte-identical-Result tests.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cq"
+	"viewplan/internal/workload"
+)
+
+// naiveHoms is the retained reference implementation: try every target
+// atom for every source atom in order, extending a map substitution,
+// cloning at each step. Hopelessly allocation-heavy — which is the
+// point: it is too simple to be wrong.
+func naiveHoms(src, target []cq.Atom, init cq.Subst) []cq.Subst {
+	var out []cq.Subst
+	var rec func(i int, s cq.Subst)
+	rec = func(i int, s cq.Subst) {
+		if i == len(src) {
+			out = append(out, s.Clone())
+			return
+		}
+		for _, t := range target {
+			s2 := s.Clone()
+			if s2.MatchAtom(src[i], t) {
+				rec(i+1, s2)
+			}
+		}
+	}
+	rec(0, init.Clone())
+	return out
+}
+
+// substSet renders a substitution slice as a sorted multiset of
+// deterministic strings, the order-insensitive comparison form.
+func substSet(subs []cq.Subst) []string {
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = s.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// kernelHoms collects the kernel's substitutions via the public entry
+// point.
+func kernelHoms(src, target []cq.Atom, init cq.Subst) []cq.Subst {
+	var out []cq.Subst
+	containment.Homs(src, target, init, func(s cq.Subst) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+func requireSameHoms(t *testing.T, label string, src, target []cq.Atom, init cq.Subst) {
+	t.Helper()
+	got := substSet(kernelHoms(src, target, init))
+	want := substSet(naiveHoms(src, target, init))
+	if len(got) != len(want) {
+		t.Fatalf("%s: kernel found %d homomorphisms, reference %d\nkernel: %v\nreference: %v",
+			label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: homomorphism sets differ at %d:\nkernel:    %s\nreference: %s",
+				label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestKernelMatchesNaiveOnWorkloads replays the planner's own hom
+// searches — every view definition evaluated over the query's canonical
+// database, plus the query against its own frozen body — across 200
+// seeded chain and star instances.
+func TestKernelMatchesNaiveOnWorkloads(t *testing.T) {
+	for _, shape := range []workload.Shape{workload.Chain, workload.Star} {
+		for seed := int64(0); seed < 100; seed++ {
+			inst, err := workload.Generate(workload.Config{
+				Shape:         shape,
+				QuerySubgoals: 6,
+				NumViews:      8,
+				Seed:          seed,
+			})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", shape, seed, err)
+			}
+			db := containment.FreezeQuery(inst.Query)
+			label := fmt.Sprintf("%v/seed=%d", shape, seed)
+			requireSameHoms(t, label+"/self", inst.Query.Body, db.Facts, nil)
+			for _, v := range inst.Views.Views {
+				requireSameHoms(t, label+"/"+v.Name(), v.Def.Body, db.Facts, nil)
+			}
+		}
+	}
+}
+
+// TestKernelMatchesNaiveAdversarial exercises the shapes most likely to
+// break an indexed kernel: repeated variables within an atom, constants
+// in atom heads and bodies, self-join predicates with many candidate
+// atoms, init seeding (for variables in and out of the source), and
+// vocabulary misses.
+func TestKernelMatchesNaiveAdversarial(t *testing.T) {
+	// The head constant keeps the carrier query safe whatever the body.
+	atoms := func(src string) []cq.Atom { return cq.MustParseQuery("q(k) :- " + src).Body }
+	cases := []struct {
+		name        string
+		src, target string
+		init        cq.Subst
+	}{
+		{"repeated-var-src", "p(A, A)", "p(x, x), p(x, y), p(y, y)", nil},
+		{"repeated-var-target", "p(A, B), p(B, C)", "p(x, x), p(x, y)", nil},
+		{"const-in-head", "p(a, A)", "p(a, x), p(b, x), p(a, a)", nil},
+		{"const-both-sides", "p(a, B), r(B, c)", "p(a, x), p(a, c), r(x, c), r(c, c)", nil},
+		{"self-join", "p(A, B), p(B, C), p(C, A)", "p(x, y), p(y, z), p(z, x), p(x, x)", nil},
+		{"self-join-dups", "p(A, B)", "p(x, y), p(x, y), p(x, y)", nil},
+		{"init-src-var", "p(A, B)", "p(x, y), p(y, z)", cq.Subst{"A": cq.Const("y")}},
+		{"init-unrelated-var", "p(A, B)", "p(x, y)", cq.Subst{"Z": cq.Const("w")}},
+		{"init-miss", "p(A, B)", "p(x, y)", cq.Subst{"A": cq.Const("nowhere")}},
+		{"pred-miss", "p(A), r(A)", "p(x), p(y)", nil},
+		{"arity-miss", "p(A, B)", "p(x), p(x, y, z)", nil},
+		{"empty-src", "", "p(x, y)", nil},
+		{"empty-target", "p(A)", "", nil},
+		{"triangle-in-clique", "e(A, B), e(B, C), e(C, A)",
+			"e(x, y), e(y, x), e(y, z), e(z, y), e(x, z), e(z, x), e(x, x)", nil},
+	}
+	for _, c := range cases {
+		var src, target []cq.Atom
+		if c.src != "" {
+			src = atoms(c.src)
+		}
+		if c.target != "" {
+			target = atoms(c.target)
+		}
+		requireSameHoms(t, c.name, src, target, c.init)
+	}
+}

@@ -16,17 +16,26 @@ import (
 // removal reaches the core.
 func Minimize(q *cq.Query) *cq.Query {
 	cur := q.DedupBody()
+	// Probe candidates share cur's head and comparisons and build their
+	// body into one reused buffer: FindContainmentMapping only reads
+	// its arguments, so the per-candidate deep clone the obvious
+	// RemoveSubgoal loop would make is pure allocation churn on what is
+	// a planner hot path (every query and view minimizes through here).
+	buf := make([]cq.Atom, 0, len(cur.Body))
+	cand := &cq.Query{Head: cur.Head, Comparisons: cur.Comparisons}
+	probe := minimizeProber(cand)
 	for {
 		removed := false
-		for i := 0; i < len(cur.Body); i++ {
-			cand := cur.RemoveSubgoal(i)
-			if len(cand.Body) == 0 {
-				continue
-			}
+		for i := 0; i < len(cur.Body) && len(cur.Body) > 1; i++ {
+			cand.Body = append(append(buf[:0], cur.Body[:i]...), cur.Body[i+1:]...)
 			// cur ⊑ cand holds trivially; equivalence needs cand ⊑ cur,
 			// i.e. a containment mapping from cur to cand.
-			if _, ok := FindContainmentMapping(cur, cand); ok {
-				cur = cand
+			if probe(cur) {
+				cur = &cq.Query{
+					Head:        cur.Head,
+					Body:        append([]cq.Atom(nil), cand.Body...),
+					Comparisons: cur.Comparisons,
+				}
 				removed = true
 				break
 			}
@@ -44,16 +53,43 @@ func IsMinimal(q *cq.Query) bool {
 	if len(d.Body) != len(q.Body) {
 		return false
 	}
-	for i := range d.Body {
-		cand := d.RemoveSubgoal(i)
-		if len(cand.Body) == 0 {
-			continue
-		}
-		if _, ok := FindContainmentMapping(d, cand); ok {
+	buf := make([]cq.Atom, 0, len(d.Body))
+	cand := &cq.Query{Head: d.Head, Comparisons: d.Comparisons}
+	probe := minimizeProber(cand)
+	for i := 0; i < len(d.Body) && len(d.Body) > 1; i++ {
+		cand.Body = append(append(buf[:0], d.Body[:i]...), d.Body[i+1:]...)
+		if probe(d) {
 			return false
 		}
 	}
 	return true
+}
+
+// minimizeProber returns the per-candidate containment probe for the
+// removal loops above: does a containment mapping from cur onto cand
+// exist? Every candidate shares cand's head, so the comparison-free case
+// seeds the head identity once and runs the existence-only frame search
+// per probe — no witness substitution, no per-probe seed map. With
+// comparisons the implication filter needs the full mapping and each
+// probe falls through to FindContainmentMapping.
+func minimizeProber(cand *cq.Query) func(cur *cq.Query) bool {
+	if len(cand.Comparisons) > 0 {
+		return func(cur *cq.Query) bool {
+			_, ok := FindContainmentMapping(cur, cand)
+			return ok
+		}
+	}
+	// The head maps onto itself: each head variable seeds to itself and
+	// constants always match, so the seed never fails and never changes.
+	init := cq.NewSubst()
+	for _, t := range cand.Head.Args {
+		if v, ok := t.(cq.Var); ok {
+			init[v] = v
+		}
+	}
+	return func(cur *cq.Query) bool {
+		return hasSeededMapping(cur, cand, init)
+	}
 }
 
 // CanonicalDB is the canonical (frozen) database of a query: each variable
@@ -70,6 +106,11 @@ type CanonicalDB struct {
 	Thaw map[cq.Const]cq.Var
 	// FrozenHead is the query head with variables frozen.
 	FrozenHead cq.Atom
+
+	// target is the Facts compiled for homomorphism search, built
+	// eagerly by FreezeQuery so a CanonicalDB shared across the
+	// parallel view-tuple workers is read-only after construction.
+	target *HomTarget
 }
 
 // FreezePrefix is the prefix of constants introduced by Freeze; it is
@@ -88,14 +129,27 @@ func FreezeQuery(q *cq.Query) *CanonicalDB {
 		freeze[v] = c
 		thaw[c] = v
 	}
+	facts := cq.DedupAtoms(freeze.Atoms(q.Body))
 	return &CanonicalDB{
 		// A database is a set of facts: duplicate body subgoals freeze to
 		// one fact.
-		Facts:      cq.DedupAtoms(freeze.Atoms(q.Body)),
+		Facts:      facts,
 		Freeze:     freeze,
 		Thaw:       thaw,
 		FrozenHead: freeze.Atom(q.Head),
+		target:     NewHomTarget(facts),
 	}
+}
+
+// Target returns the Facts compiled for homomorphism search, compiling
+// on demand for databases built by hand rather than by FreezeQuery.
+// The on-demand path does not memoize: a hand-built CanonicalDB makes
+// no immutability promise, so caching here could race.
+func (db *CanonicalDB) Target() *HomTarget {
+	if db.target != nil {
+		return db.target
+	}
+	return NewHomTarget(db.Facts)
 }
 
 // ThawTerm converts a frozen constant back to its variable; other terms
@@ -123,12 +177,30 @@ func (db *CanonicalDB) ThawAtom(a cq.Atom) cq.Atom {
 // deduplicated.
 func (db *CanonicalDB) Evaluate(query *cq.Query) []cq.Atom {
 	var out []cq.Atom
-	Homs(query.Body, db.Facts, nil, func(h cq.Subst) bool {
-		a := h.Atom(query.Head)
+	db.EvaluateFunc(query, func(args []cq.Term) bool {
+		a := cq.Atom{Pred: query.Head.Pred, Args: args}
 		if !cq.ContainsAtom(out, a) {
-			out = append(out, a)
+			out = append(out, cq.Atom{Pred: a.Pred, Args: append([]cq.Term(nil), args...)})
 		}
 		return true
 	})
 	return out
+}
+
+// EvaluateFunc streams the answers of query over the canonical database:
+// for every homomorphism of the query body into the facts, yield receives
+// the image of the head's arguments. The slice is a buffer reused across
+// calls — callers that keep an answer must copy it — and duplicate images
+// are not filtered, which lets callers that dedup anyway (view-tuple
+// computation) defer all per-answer allocation until an answer is known
+// to be kept. Returning false from yield stops the enumeration.
+func (db *CanonicalDB) EvaluateFunc(query *cq.Query, yield func(args []cq.Term) bool) {
+	t := db.Target()
+	args := make([]cq.Term, len(query.Head.Args))
+	t.HomsFrame(query.Body, nil, func(h cq.ISubst) bool {
+		for i, arg := range query.Head.Args {
+			args[i] = h.Apply(arg)
+		}
+		return yield(args)
+	})
 }

@@ -7,7 +7,10 @@
 // analysis of Section 3.
 package corecover
 
-import "strings"
+import (
+	"math/bits"
+	"strings"
+)
 
 // SubgoalSet is a set of body-subgoal indexes of the (minimized) query,
 // packed in a 64-bit mask. CoreCover refuses queries with more than 64
@@ -72,14 +75,17 @@ func (s SubgoalSet) LowestMissing(universe SubgoalSet) int {
 
 // Elements returns the members in increasing order.
 func (s SubgoalSet) Elements() []int {
-	var out []int
-	for i := 0; i < MaxSubgoals && s != 0; i++ {
-		if s.Has(i) {
-			out = append(out, i)
-			s &^= 1 << uint(i)
-		}
+	return s.AppendElements(nil)
+}
+
+// AppendElements appends the members to dst in increasing order and
+// returns the extended slice, so hot paths can reuse one buffer instead
+// of allocating per call.
+func (s SubgoalSet) AppendElements(dst []int) []int {
+	for x := uint64(s); x != 0; x &= x - 1 {
+		dst = append(dst, bits.TrailingZeros64(x))
 	}
-	return out
+	return dst
 }
 
 // String renders the set as {0, 2, 5}.

@@ -311,8 +311,10 @@ type verifier struct {
 	opts Options
 	// mu guards ok: the map is written by the fanout workers of
 	// coverFilter's parallel path as well as the sequential collect pass.
+	// Keys are packed coverID bitsets, so the common lookup hashes one
+	// uint64 instead of a formatted index string.
 	mu sync.Mutex
-	ok map[string]*cq.Query
+	ok map[coverID]*cq.Query
 	// hom memoizes the expansion-equivalence verdicts, shared by every
 	// worker of a parallel run. Candidate rewritings repeat up to
 	// variable renaming across covers and member fallbacks, so the
@@ -326,12 +328,12 @@ type verifier struct {
 }
 
 func (r *Result) newVerifier(vs *views.Set, opts Options) *verifier {
-	v := &verifier{r: r, vs: vs, opts: opts, ok: make(map[string]*cq.Query)}
+	v := &verifier{r: r, vs: vs, opts: opts, ok: make(map[coverID]*cq.Query)}
 	if !opts.SkipVerification && opts.parallelism() > 1 {
 		// "" (an impossible canonical form) keeps the verdict cache off:
 		// sequential runs, and minimized queries with no exact canonical
 		// key.
-		v.minKey, _ = cq.ExactCanonicalKey(r.MinimalQuery)
+		v.minKey, _ = v.hom.CanonicalKeyOf(r.MinimalQuery)
 	}
 	return v
 }
@@ -344,7 +346,7 @@ func (v *verifier) isEquivalent(p *cq.Query) bool {
 	if v.minKey == "" {
 		return v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery)
 	}
-	pk, ok := cq.ExactCanonicalKey(p)
+	pk, ok := v.hom.CanonicalKeyOf(p)
 	if !ok {
 		obs.Global.Add(obs.CtrHomCacheMiss, 1)
 		return v.vs.IsEquivalentRewriting(p, v.r.MinimalQuery)
@@ -447,7 +449,7 @@ const memberFallbackLimit = 64
 // pointer loaded from v would force v's cache map to the heap at every
 // call site — two extra allocations per run even with tracing off.
 func (v *verifier) verify(tr *obs.Tracer, cover []int) (*cq.Query, bool) {
-	key := coverKey(cover)
+	key := coverIDOf(cover)
 	if p, done := v.lookup(key); done {
 		return p, p != nil
 	}
@@ -463,7 +465,7 @@ func (v *verifier) verify(tr *obs.Tracer, cover []int) (*cq.Query, bool) {
 // workers may race to verify the same key; verification is deterministic,
 // so either write stores the same verdict.
 func (v *verifier) verifyConcurrent(tr *obs.Tracer, cover []int) *cq.Query {
-	key := coverKey(cover)
+	key := coverIDOf(cover)
 	if p, done := v.lookup(key); done {
 		return p
 	}
@@ -472,14 +474,14 @@ func (v *verifier) verifyConcurrent(tr *obs.Tracer, cover []int) *cq.Query {
 	return p
 }
 
-func (v *verifier) lookup(key string) (*cq.Query, bool) {
+func (v *verifier) lookup(key coverID) (*cq.Query, bool) {
 	v.mu.Lock()
 	p, done := v.ok[key]
 	v.mu.Unlock()
 	return p, done
 }
 
-func (v *verifier) store(key string, p *cq.Query) {
+func (v *verifier) store(key coverID, p *cq.Query) {
 	v.mu.Lock()
 	v.ok[key] = p
 	v.mu.Unlock()

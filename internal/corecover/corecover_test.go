@@ -603,12 +603,16 @@ func TestCoverSearchIrredundant(t *testing.T) {
 	covers := cs.IrredundantCovers(0, nil)
 	// {0,1}, {2}, {0,3} are irredundant; {1, anything-with-0}: {0,1} only;
 	// {2, ...} with extras is redundant.
-	want := map[string]bool{"0,1,": true, "2,": true, "0,3,": true}
+	want := map[coverID]bool{
+		coverIDOf([]int{0, 1}): true,
+		coverIDOf([]int{2}):    true,
+		coverIDOf([]int{0, 3}): true,
+	}
 	if len(covers) != len(want) {
 		t.Fatalf("IrredundantCovers = %v", covers)
 	}
 	for _, c := range covers {
-		if !want[coverKey(c)] {
+		if !want[coverIDOf(c)] {
 			t.Errorf("unexpected cover %v", c)
 		}
 	}

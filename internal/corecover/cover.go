@@ -1,10 +1,48 @@
 package corecover
 
 import (
+	"encoding/binary"
 	"sort"
 
 	"viewplan/internal/obs"
 )
+
+// coverID identifies a cover — a set of chosen set indexes — as a value
+// usable for map-key deduplication. Indexes below 64 pack into the lo
+// word, so for typical families the id is a single uint64 comparison
+// and building it allocates nothing; families with more than 64 sets
+// spill the higher words into an immutable string (little-endian, no
+// trailing zero words) so the id stays comparable and unambiguous.
+// Packing is order-insensitive: no pre-sorting of chosen is needed.
+type coverID struct {
+	lo   uint64
+	rest string
+}
+
+// coverIDOf builds the id for chosen (distinct, any order).
+func coverIDOf(chosen []int) coverID {
+	var id coverID
+	var hi []uint64
+	for _, i := range chosen {
+		if i < 64 {
+			id.lo |= 1 << uint(i)
+			continue
+		}
+		w := i/64 - 1
+		for len(hi) <= w {
+			hi = append(hi, 0)
+		}
+		hi[w] |= 1 << uint(i%64)
+	}
+	if len(hi) > 0 {
+		b := make([]byte, 8*len(hi))
+		for wi, w := range hi {
+			binary.LittleEndian.PutUint64(b[8*wi:], w)
+		}
+		id.rest = string(b)
+	}
+	return id
+}
 
 // coverSearch enumerates covers of a universe by a family of sets.
 // Sets are given once; the search deduplicates covers (as index sets).
@@ -69,7 +107,13 @@ func (cs *coverSearch) MinimumCovers(maxCovers int, filter func([][]int) [][]int
 	if !cs.coverable() {
 		return nil
 	}
-	for k := 1; k <= maxSize; k++ {
+	// Branch-and-bound lower bound: a cover of size k reaches at most
+	// k×maxCoverage universe elements, so sizes below |universe| /
+	// maxCoverage cannot cover and their (empty) levels are skipped
+	// outright. The same bound prunes inside each level's descent.
+	need := cs.universe.Count()
+	k0 := (need + cs.maxCoverage() - 1) / cs.maxCoverage()
+	for k := k0; k <= maxSize; k++ {
 		covers := cs.coversOfSize(k, 0)
 		cs.st.found += int64(len(covers))
 		if filter != nil {
@@ -94,10 +138,28 @@ func (cs *coverSearch) coverable() bool {
 	return u.Covers(cs.universe)
 }
 
+// maxCoverage returns the largest number of universe elements any single
+// set covers (at least 1 when the family is coverable and the universe
+// nonempty). It is the per-set bound behind MinimumCovers'
+// branch-and-bound pruning.
+func (cs *coverSearch) maxCoverage() int {
+	best := 1
+	for _, s := range cs.sets {
+		if c := s.Intersect(cs.universe).Count(); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
 // coversOfSize enumerates all covers using exactly k sets (no set chosen
 // twice; subsets enumerated in increasing index order so each cover
-// appears once). Simple suffix-union pruning bounds the search. cs.st
-// tallies nodes expanded and branches pruned.
+// appears once). Three prunes bound the search, none of which changes
+// the set or order of covers produced: a suffix-union feasibility check,
+// dominance (a set adding nothing to the chosen union cannot appear in a
+// minimum cover), and the branch-and-bound element count (the remaining
+// picks cannot reach the still-missing elements). cs.st tallies nodes
+// expanded and branches pruned.
 func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 	n := len(cs.sets)
 	// suffixUnion[i] = union of sets[i:].
@@ -105,6 +167,7 @@ func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 	for i := n - 1; i >= 0; i-- {
 		suffixUnion[i] = suffixUnion[i+1].Union(cs.sets[i])
 	}
+	maxCov := cs.maxCoverage()
 	var out [][]int
 	chosen := make([]int, 0, k)
 	var rec func(start int, covered SubgoalSet) bool
@@ -118,15 +181,22 @@ func (cs *coverSearch) coversOfSize(k, maxCovers int) [][]int {
 			return true
 		}
 		remaining := k - len(chosen)
+		// Branch and bound: the remaining picks cover at most
+		// remaining×maxCov missing elements.
+		if cs.universe.Minus(covered).Count() > remaining*maxCov {
+			cs.st.pruned++
+			return true
+		}
 		for i := start; i+remaining <= n; i++ {
 			// Prune: even taking everything from i on cannot cover.
 			if !covered.Union(suffixUnion[i]).Covers(cs.universe) {
 				cs.st.pruned++
 				return true
 			}
-			// Prune: set adds nothing new (a cover of size k using a
-			// useless set is never minimum: dropping it yields a cover of
-			// size k-1, which the previous depth would have found).
+			// Dominance prune: the set's core adds nothing beyond the
+			// chosen union (a cover of size k using a useless set is
+			// never minimum: dropping it yields a cover of size k-1,
+			// which the previous depth would have found).
 			add := cs.sets[i].Minus(covered)
 			if add.IsEmpty() {
 				cs.st.pruned++
@@ -161,7 +231,7 @@ func (cs *coverSearch) IrredundantCovers(maxCovers int, accept func([]int) bool)
 	if !cs.coverable() {
 		return nil
 	}
-	seen := make(map[string]struct{})
+	seen := make(map[coverID]struct{})
 	var out [][]int
 	chosen := make([]int, 0, len(cs.sets))
 	var rec func(covered SubgoalSet) bool
@@ -172,7 +242,7 @@ func (cs *coverSearch) IrredundantCovers(maxCovers int, accept func([]int) bool)
 				cs.st.pruned++
 				return true
 			}
-			key := coverKey(chosen)
+			key := coverIDOf(chosen)
 			if _, dup := seen[key]; dup {
 				return true
 			}
@@ -218,17 +288,6 @@ func (cs *coverSearch) irredundant(chosen []int) bool {
 		}
 	}
 	return true
-}
-
-func coverKey(chosen []int) string {
-	sorted := append([]int(nil), chosen...)
-	sort.Ints(sorted)
-	b := make([]byte, 0, len(sorted)*3)
-	for _, i := range sorted {
-		b = append(b, itoa(i)...)
-		b = append(b, ',')
-	}
-	return string(b)
 }
 
 func contains(xs []int, x int) bool {

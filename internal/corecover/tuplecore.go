@@ -28,15 +28,69 @@ type TupleCore struct {
 func (c TupleCore) IsEmpty() bool { return c.Covered.IsEmpty() }
 
 // coreComputer carries the per-query state shared by all tuple-core
-// computations: the minimized query, its distinguished variables, and the
-// per-subgoal variable lists.
+// computations — the minimized query, its distinguished variables, the
+// per-variable subgoal lists, and a dense variable index — plus scratch
+// buffers reused across tuples. Compute runs once per tuple on the
+// sequential prepare path, so the scratch is single-owner; everything
+// derived from the query alone is computed once here instead of per
+// tuple.
 type coreComputer struct {
 	q    *cq.Query
 	head cq.VarSet
+	// gen supplies fresh existential names; restarted per tuple so every
+	// expansion names its existentials _E0, _E1, … exactly as a
+	// per-tuple generator would, without re-copying the reserved set.
+	gen *cq.FreshGen
+	// varSubgoals lists, per query variable, the body subgoals using it
+	// (one entry per occurrence). closureUnits unions these lists for
+	// variables outside the tuple's arguments.
+	varSubgoals map[cq.Var][]int
+	// varIdx/varList give query variables dense indexes for the
+	// mapUnits binding frame.
+	varIdx  map[cq.Var]int
+	varList []cq.Var
+
+	// Scratch reused across tuples and mapUnits calls.
+	tvArgs     cq.TermSet
+	exSet      cq.VarSet
+	parent     []int
+	rootSet    []SubgoalSet
+	rootOrder  []int
+	units      []SubgoalSet
+	candidates []SubgoalSet
+	unitBuf    [1]SubgoalSet
+	goals      []int
+	frame      []cq.Term
+	usedEx     []cq.Term
+	trail      []int
+	exTrail    []int
 }
 
 func newCoreComputer(q *cq.Query) *coreComputer {
-	return &coreComputer{q: q, head: q.HeadVars()}
+	cc := &coreComputer{
+		q:           q,
+		head:        q.HeadVars(),
+		gen:         cq.NewFreshGen("_E", q.Vars()),
+		varSubgoals: make(map[cq.Var][]int),
+		varList:     q.VarOrder(),
+	}
+	for i, a := range q.Body {
+		for _, t := range a.Args {
+			if v, ok := t.(cq.Var); ok {
+				cc.varSubgoals[v] = append(cc.varSubgoals[v], i)
+			}
+		}
+	}
+	cc.varIdx = make(map[cq.Var]int, len(cc.varList))
+	for i, v := range cc.varList {
+		cc.varIdx[v] = i
+	}
+	cc.frame = make([]cq.Term, len(cc.varList))
+	cc.tvArgs = make(cq.TermSet)
+	cc.exSet = make(cq.VarSet)
+	cc.parent = make([]int, len(q.Body))
+	cc.rootSet = make([]SubgoalSet, len(q.Body))
+	return cc
 }
 
 // Compute returns the tuple-core of vt for the minimized query.
@@ -50,29 +104,30 @@ func newCoreComputer(q *cq.Query) *coreComputer {
 // branch-and-bound over units (in practice the union of all individually
 // coverable units, which Lemma 4.2 guarantees to be consistent).
 func (cc *coreComputer) Compute(vt views.Tuple) (TupleCore, error) {
-	gen := cq.NewFreshGen("_E", cc.q.Vars())
-	exp, existentials, err := vt.Expansion(gen)
+	cc.gen.Restart()
+	exp, existentials, err := vt.Expansion(cc.gen)
 	if err != nil {
 		return TupleCore{}, err
 	}
-	exSet := make(cq.VarSet, len(existentials))
+	clear(cc.exSet)
 	for _, v := range existentials {
-		exSet.Add(v)
+		cc.exSet.Add(v)
 	}
-	tvArgs := make(cq.TermSet, len(vt.Atom.Args))
+	clear(cc.tvArgs)
 	for _, t := range vt.Atom.Args {
-		tvArgs.Add(t)
+		cc.tvArgs.Add(t)
 	}
 
-	units := cc.closureUnits(tvArgs)
+	units := cc.closureUnits()
 
 	// Filter units that cannot possibly be covered: a distinguished query
 	// variable inside a unit must appear among the tuple's arguments
 	// (Property 2), and each subgoal must be individually embeddable.
-	var candidates []SubgoalSet
+	cc.candidates = cc.candidates[:0]
 	for _, u := range units {
-		if cc.unitAdmissible(u, tvArgs) && cc.mapUnits(nil, []SubgoalSet{u}, tvArgs, exSet, exp) != nil {
-			candidates = append(candidates, u)
+		cc.unitBuf[0] = u
+		if cc.unitAdmissible(u) && cc.mapUnits(nil, cc.unitBuf[:], exp) != nil {
+			cc.candidates = append(cc.candidates, u)
 		}
 	}
 
@@ -80,10 +135,10 @@ func (cc *coreComputer) Compute(vt views.Tuple) (TupleCore, error) {
 	// case); fall back to branch and bound over unit subsets if a joint
 	// mapping does not exist (defensive: Lemma 4.2 says it always does for
 	// minimized queries).
-	if m := cc.mapUnits(nil, candidates, tvArgs, exSet, exp); m != nil {
-		return TupleCore{Tuple: vt, Covered: unionAll(candidates), Mapping: m, Expansion: exp}, nil
+	if m := cc.mapUnits(nil, cc.candidates, exp); m != nil {
+		return TupleCore{Tuple: vt, Covered: unionAll(cc.candidates), Mapping: m, Expansion: exp}, nil
 	}
-	bestSet, bestMap := cc.bestUnion(candidates, tvArgs, exSet, exp)
+	bestSet, bestMap := cc.bestUnion(cc.candidates, exp)
 	return TupleCore{Tuple: vt, Covered: bestSet, Mapping: bestMap, Expansion: exp}, nil
 }
 
@@ -98,10 +153,11 @@ func unionAll(sets []SubgoalSet) SubgoalSet {
 // closureUnits partitions the query body into minimal sets closed under
 // "if a non-tuple variable occurs in the set, all subgoals using it are in
 // the set": connected components of the graph linking subgoals that share
-// a variable outside tvArgs.
-func (cc *coreComputer) closureUnits(tvArgs cq.TermSet) []SubgoalSet {
+// a variable outside cc.tvArgs. The subgoal lists per variable are
+// precomputed; each call only runs the union-find over them.
+func (cc *coreComputer) closureUnits() []SubgoalSet {
 	n := len(cc.q.Body)
-	parent := make([]int, n)
+	parent := cc.parent
 	for i := range parent {
 		parent[i] = i
 	}
@@ -113,54 +169,50 @@ func (cc *coreComputer) closureUnits(tvArgs cq.TermSet) []SubgoalSet {
 		}
 		return x
 	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
+	//viewplan:nondet-ok union-find merges commute: the final partition is the same whatever order the shared-variable edges are applied in, and component order below comes from the ordered subgoal scan, not this loop
+	for v, idxs := range cc.varSubgoals {
+		if cc.tvArgs.Has(v) {
+			continue
 		}
-	}
-	byVar := make(map[cq.Var][]int)
-	for i, a := range cc.q.Body {
-		for _, t := range a.Args {
-			if v, ok := t.(cq.Var); ok && !tvArgs.Has(v) {
-				byVar[v] = append(byVar[v], i)
+		r0 := find(idxs[0])
+		for k := 1; k < len(idxs); k++ {
+			rk := find(idxs[k])
+			if r0 != rk {
+				parent[rk] = r0
 			}
 		}
 	}
-	//viewplan:nondet-ok union-find merges commute: the final partition is the same whatever order the shared-variable edges are applied in, and component order below comes from the sorted subgoal scan, not this loop
-	for _, idxs := range byVar {
-		for k := 1; k < len(idxs); k++ {
-			union(idxs[0], idxs[k])
-		}
+	for i := range cc.rootSet[:n] {
+		cc.rootSet[i] = 0
 	}
-	comp := make(map[int]SubgoalSet)
-	var order []int
+	cc.rootOrder = cc.rootOrder[:0]
 	for i := 0; i < n; i++ {
 		r := find(i)
-		if _, ok := comp[r]; !ok {
-			order = append(order, r)
+		if cc.rootSet[r].IsEmpty() {
+			cc.rootOrder = append(cc.rootOrder, r)
 		}
-		comp[r] = comp[r].With(i)
+		cc.rootSet[r] = cc.rootSet[r].With(i)
 	}
-	out := make([]SubgoalSet, 0, len(order))
-	for _, r := range order {
-		out = append(out, comp[r])
+	cc.units = cc.units[:0]
+	for _, r := range cc.rootOrder {
+		cc.units = append(cc.units, cc.rootSet[r])
 	}
-	return out
+	return cc.units
 }
 
 // unitAdmissible performs the cheap Property-2 check: every distinguished
 // query variable occurring in the unit must be among the tuple's
 // arguments (otherwise it would have to map to an existential variable of
 // the expansion, which Property 2 forbids).
-func (cc *coreComputer) unitAdmissible(u SubgoalSet, tvArgs cq.TermSet) bool {
-	for _, i := range u.Elements() {
+func (cc *coreComputer) unitAdmissible(u SubgoalSet) bool {
+	cc.goals = u.AppendElements(cc.goals[:0])
+	for _, i := range cc.goals {
 		for _, t := range cc.q.Body[i].Args {
 			v, ok := t.(cq.Var)
 			if !ok {
 				continue
 			}
-			if cc.head.Has(v) && !tvArgs.Has(v) {
+			if cc.head.Has(v) && !cc.tvArgs.Has(v) {
 				return false
 			}
 		}
@@ -173,20 +225,29 @@ func (cc *coreComputer) unitAdmissible(u SubgoalSet, tvArgs cq.TermSet) bool {
 // remaining variables, every subgoal embedded in the expansion. It returns
 // the mapping, or nil if none exists. init seeds the mapping (used by the
 // subset search); it is not modified.
-func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.TermSet, exSet cq.VarSet, exp []cq.Atom) cq.Subst {
-	var goals []int
+//
+// Bindings live in a dense frame over the query's variables with
+// slice-backed trails, so the backtracking allocates nothing; the
+// map-backed witness is materialized once, only for a successful search.
+func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, exp []cq.Atom) cq.Subst {
+	goals := cc.goals[:0]
 	for _, u := range units {
-		goals = append(goals, u.Elements()...)
+		goals = u.AppendElements(goals)
 	}
-	s := cq.NewSubst()
-	usedEx := make(cq.TermSet)
-	//viewplan:nondet-ok stores are keyed by the range key and usedEx is a set, so the copied seed mapping is order-independent
+	cc.goals = goals
+	for i := range cc.frame {
+		cc.frame[i] = nil
+	}
+	cc.usedEx = cc.usedEx[:0]
+	//viewplan:nondet-ok stores are keyed by the dense index of the range key and usedEx is an order-insensitive membership list, so the copied seed mapping is order-independent
 	for v, img := range init {
-		s[v] = img
-		if iv, ok := img.(cq.Var); ok && exSet.Has(iv) {
-			usedEx.Add(img)
+		cc.frame[cc.varIdx[v]] = img
+		if iv, ok := img.(cq.Var); ok && cc.exSet.Has(iv) {
+			cc.usedEx = append(cc.usedEx, img)
 		}
 	}
+	cc.trail = cc.trail[:0]
+	cc.exTrail = cc.exTrail[:0]
 	var rec func(gi int) bool
 	rec = func(gi int) bool {
 		if gi == len(goals) {
@@ -197,19 +258,19 @@ func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.Te
 			if cand.Pred != a.Pred || len(cand.Args) != len(a.Args) {
 				continue
 			}
-			var trail []cq.Var
-			var exTrail []cq.Term
+			trailMark := len(cc.trail)
+			exMark := len(cc.exTrail)
 			ok := true
 			for j := range a.Args {
 				src, dst := a.Args[j], cand.Args[j]
-				if tvArgs.Has(src) || cq.IsConst(src) {
+				if cc.tvArgs.Has(src) || cq.IsConst(src) {
 					// Identity on tuple arguments and constants.
 					if src != dst {
 						ok = false
 					}
 				} else {
-					v := src.(cq.Var)
-					if img, bound := s[v]; bound {
+					vi := cc.varIdx[src.(cq.Var)]
+					if img := cc.frame[vi]; img != nil {
 						if img != dst {
 							ok = false
 						}
@@ -217,13 +278,13 @@ func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.Te
 						// Must land on an existential variable of the
 						// expansion, not yet used by another variable.
 						dv, isVar := dst.(cq.Var)
-						if !isVar || !exSet.Has(dv) || usedEx.Has(dst) {
+						if !isVar || !cc.exSet.Has(dv) || cc.exUsed(dst) {
 							ok = false
 						} else {
-							s[v] = dst
-							usedEx.Add(dst)
-							trail = append(trail, v)
-							exTrail = append(exTrail, dst)
+							cc.frame[vi] = dst
+							cc.usedEx = append(cc.usedEx, dst)
+							cc.trail = append(cc.trail, vi)
+							cc.exTrail = append(cc.exTrail, len(cc.usedEx)-1)
 						}
 					}
 				}
@@ -234,11 +295,14 @@ func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.Te
 			if ok && rec(gi+1) {
 				return true
 			}
-			for k := range trail {
-				delete(s, trail[k])
+			for len(cc.trail) > trailMark {
+				last := len(cc.trail) - 1
+				cc.frame[cc.trail[last]] = nil
+				cc.trail = cc.trail[:last]
 			}
-			for _, e := range exTrail {
-				delete(usedEx, e)
+			if len(cc.exTrail) > exMark {
+				cc.usedEx = cc.usedEx[:cc.exTrail[exMark]]
+				cc.exTrail = cc.exTrail[:exMark]
 			}
 		}
 		return false
@@ -246,11 +310,18 @@ func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.Te
 	if !rec(0) {
 		return nil
 	}
-	// Record identity images for shared variables too, so the mapping is a
-	// complete witness over the covered subgoals' variables.
+	// Materialize the witness: searched bindings plus identity images for
+	// shared variables, so the mapping is complete over the covered
+	// subgoals' variables.
+	s := cq.NewSubst()
+	for i, img := range cc.frame {
+		if img != nil {
+			s[cc.varList[i]] = img
+		}
+	}
 	for _, gi := range goals {
 		for _, t := range cc.q.Body[gi].Args {
-			if v, ok := t.(cq.Var); ok && tvArgs.Has(v) {
+			if v, ok := t.(cq.Var); ok && cc.tvArgs.Has(v) {
 				s[v] = v
 			}
 		}
@@ -258,23 +329,38 @@ func (cc *coreComputer) mapUnits(init cq.Subst, units []SubgoalSet, tvArgs cq.Te
 	return s
 }
 
+// exUsed reports whether an existential image is already taken. The list
+// is at most the expansion's existential count, so a linear scan beats a
+// map here.
+func (cc *coreComputer) exUsed(t cq.Term) bool {
+	for _, have := range cc.usedEx {
+		if have == t {
+			return true
+		}
+	}
+	return false
+}
+
 // bestUnion finds the largest (by covered subgoals) union of units that
 // admits a joint mapping. Defensive fallback; unit counts are tiny.
-func (cc *coreComputer) bestUnion(units []SubgoalSet, tvArgs cq.TermSet, exSet cq.VarSet, exp []cq.Atom) (SubgoalSet, cq.Subst) {
+func (cc *coreComputer) bestUnion(units []SubgoalSet, exp []cq.Atom) (SubgoalSet, cq.Subst) {
+	// The unit subsets recursed over must be stable storage: cc.candidates
+	// aliases the scratch, and mapUnits reuses cc.goals underneath.
+	base := append([]SubgoalSet(nil), units...)
 	var bestSet SubgoalSet
 	var bestMap cq.Subst
 	var rec func(i int, chosen []SubgoalSet)
 	rec = func(i int, chosen []SubgoalSet) {
-		if i == len(units) {
+		if i == len(base) {
 			u := unionAll(chosen)
 			if u.Count() > bestSet.Count() {
-				if m := cc.mapUnits(nil, chosen, tvArgs, exSet, exp); m != nil {
+				if m := cc.mapUnits(nil, chosen, exp); m != nil {
 					bestSet, bestMap = u, m
 				}
 			}
 			return
 		}
-		rec(i+1, append(chosen, units[i]))
+		rec(i+1, append(chosen, base[i]))
 		rec(i+1, chosen)
 	}
 	rec(0, nil)

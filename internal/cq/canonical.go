@@ -26,23 +26,19 @@ func CanonicalKey(q *Query) string {
 		return approximateKey(q)
 	}
 	c := &canonicalizer{q: q, used: make([]bool, len(q.Body))}
-	c.varIDs = make(map[Var]int)
 	// Head variables are numbered first, in head-argument order; the head
 	// is part of every candidate prefix so this is canonical.
-	var head strings.Builder
-	head.WriteString(q.Head.Pred)
-	head.WriteByte('(')
+	c.buf = append(c.buf, q.Head.Pred...)
+	c.buf = append(c.buf, '(')
 	for i, t := range q.Head.Args {
 		if i > 0 {
-			head.WriteByte(',')
+			c.buf = append(c.buf, ',')
 		}
-		head.WriteString(c.label(t))
+		c.label(t)
 	}
-	head.WriteString(")|")
-	c.best = ""
-	c.haveBest = false
-	c.emit(head.String(), 0)
-	return c.best
+	c.buf = append(c.buf, ')', '|')
+	c.emit(0)
+	return string(c.best)
 }
 
 const canonicalExactLimit = 16
@@ -62,76 +58,86 @@ func ExactCanonicalKey(q *Query) (key string, ok bool) {
 	return CanonicalKey(q), true
 }
 
+// canonicalizer runs the branch-and-bound labeling over one shared byte
+// buffer: candidate prefixes are appended in place and truncated on
+// backtrack, variable numbering is the index into a vars slice truncated
+// the same way, and only the winning labeling is materialized as a
+// string. The recursion explores the same orderings and produces the
+// same key as the textbook string-concatenation formulation, without its
+// per-branch builder and concatenation garbage (canonical keys are
+// computed once per view in the grouping phase, so they sit on the
+// planner hot path).
 type canonicalizer struct {
 	q        *Query
 	used     []bool
-	varIDs   map[Var]int
-	nextID   int
-	best     string
+	vars     []Var // vars[id] is the variable numbered id
+	buf      []byte
+	best     []byte
 	haveBest bool
 }
 
-// label returns the canonical spelling of a term under the current variable
-// numbering, assigning the next number to unseen variables.
-func (c *canonicalizer) label(t Term) string {
+// label appends the canonical spelling of a term under the current
+// variable numbering, assigning the next number to unseen variables.
+func (c *canonicalizer) label(t Term) {
 	switch t := t.(type) {
 	case Const:
-		return "c:" + string(t)
+		c.buf = append(c.buf, "c:"...)
+		c.buf = append(c.buf, string(t)...)
 	case Var:
-		id, ok := c.varIDs[t]
-		if !ok {
-			id = c.nextID
-			c.nextID++
-			c.varIDs[t] = id
+		id := -1
+		for i, v := range c.vars {
+			if v == t {
+				id = i
+				break
+			}
 		}
-		return "V" + itoa(id)
+		if id < 0 {
+			id = len(c.vars)
+			c.vars = append(c.vars, t)
+		}
+		c.buf = append(c.buf, 'V')
+		c.buf = appendInt(c.buf, id)
+	default:
+		c.buf = append(c.buf, '?')
 	}
-	return "?"
 }
 
-func (c *canonicalizer) emit(prefix string, emitted int) {
+func (c *canonicalizer) emit(emitted int) {
 	if c.haveBest {
-		k := min(len(prefix), len(c.best))
-		if prefix[:k] > c.best[:k] {
-			return // every completion of prefix is lexicographically worse
+		k := min(len(c.buf), len(c.best))
+		if string(c.buf[:k]) > string(c.best[:k]) {
+			return // every completion of this prefix is lexicographically worse
 		}
 	}
 	if emitted == len(c.q.Body) {
-		if !c.haveBest || prefix < c.best {
-			c.best = prefix
+		if !c.haveBest || string(c.buf) < string(c.best) {
+			c.best = append(c.best[:0], c.buf...)
 			c.haveBest = true
 		}
 		return
 	}
-	// Try each unused atom next; restore variable numbering after each try.
+	// Try each unused atom next; truncating buf and vars on the way out
+	// restores both the emitted text and the variable numbering.
 	for i := range c.q.Body {
 		if c.used[i] {
 			continue
 		}
 		c.used[i] = true
-		savedNext := c.nextID
-		var added []Var
-		var b strings.Builder
+		mark := len(c.buf)
+		savedVars := len(c.vars)
 		a := c.q.Body[i]
-		b.WriteString(a.Pred)
-		b.WriteByte('(')
+		c.buf = append(c.buf, a.Pred...)
+		c.buf = append(c.buf, '(')
 		for j, t := range a.Args {
 			if j > 0 {
-				b.WriteByte(',')
+				c.buf = append(c.buf, ',')
 			}
-			if v, ok := t.(Var); ok {
-				if _, seen := c.varIDs[v]; !seen {
-					added = append(added, v)
-				}
-			}
-			b.WriteString(c.label(t))
+			c.label(t)
 		}
-		b.WriteString(")|")
-		c.emit(prefix+b.String(), emitted+1)
-		for _, v := range added {
-			delete(c.varIDs, v)
-		}
-		c.nextID = savedNext
+		c.buf = append(c.buf, ')', '|')
+		c.emit(emitted + 1)
+		c.buf = c.buf[:mark]
+		c.vars = c.vars[:savedVars]
 		c.used[i] = false
 	}
 }

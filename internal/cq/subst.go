@@ -184,6 +184,14 @@ func (g *FreshGen) Reserve(vs VarSet) {
 	}
 }
 
+// Restart rewinds the generator so it replays its name sequence from the
+// beginning. Freshness against previously returned names is deliberately
+// given up: callers use Restart between independent computations that
+// each want the same deterministic sequence (per-tuple expansions all
+// naming their existentials _E0, _E1, …) without paying a new generator —
+// and a new reserved-set copy — per computation.
+func (g *FreshGen) Restart() { g.counter = 0 }
+
 // Fresh returns a new variable distinct from every reserved name and from
 // every variable previously returned by this generator.
 func (g *FreshGen) Fresh() Var {
@@ -209,4 +217,20 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// appendInt appends n's decimal digits to dst without the intermediate
+// string itoa would allocate.
+func appendInt(dst []byte, n int) []byte {
+	if n == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(dst, buf[i:]...)
 }

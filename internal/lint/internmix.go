@@ -16,10 +16,17 @@ import (
 // see. The PR 3 join kernel translates foreign rows explicitly
 // (db.in.ID(cur.in.Value(id))); everything else must too.
 //
+// The planner's cq.Interner (PR 6) has the same failure mode with two
+// id spaces of its own — predicate ids from PredID/LookupPred and term
+// ids from ID/Lookup — and every HomTarget compiles against a different
+// instance, so its ids are just as private and the analyzer covers it
+// under the same rules.
+//
 // Per function body, flow-insensitively, the analyzer tracks which
 // interner produced each id-holding variable (assignments from
-// <owner>.ID(…) / <owner>.Lookup(…), where <owner> is an
-// engine.Interner or engine.Database expression) and reports:
+// <owner>.ID(…) / <owner>.Lookup(…) / <owner>.PredID(…) /
+// <owner>.LookupPred(…), where <owner> is an engine.Interner,
+// engine.Database, or cq.Interner expression) and reports:
 //
 //   - an id from owner A passed to a resolving call on owner B
 //     (B.Value(id), B.tuple(ids)),
@@ -37,9 +44,17 @@ var InternMix = &analysis.Analyzer{
 	Run:      runInternMix,
 }
 
-// internerMethods produce ids; resolveMethods consume them.
-var internerProducers = map[string]bool{"ID": true, "Lookup": true}
-var internerResolvers = map[string]bool{"Value": true, "tuple": true}
+// internerMethods produce ids; resolveMethods consume them. PredID /
+// LookupPred / PredName are cq.Interner's predicate-id space; the
+// analyzer does not distinguish predicate ids from term ids — the two
+// spaces live on the same owner and mixing them is its own bug, but one
+// a type wrapper would catch, not this analyzer.
+var internerProducers = map[string]bool{
+	"ID": true, "Lookup": true, "PredID": true, "LookupPred": true,
+}
+var internerResolvers = map[string]bool{
+	"Value": true, "tuple": true, "PredName": true,
+}
 
 func runInternMix(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
@@ -66,7 +81,8 @@ func ownerExpr(info *types.Info, call *ast.CallExpr, methods map[string]bool) st
 	if p, ok := recv.Underlying().(*types.Pointer); ok {
 		recv = p.Elem()
 	}
-	if !isNamed(recv, "engine", "Interner") && !isNamed(recv, "engine", "Database") {
+	if !isNamed(recv, "engine", "Interner") && !isNamed(recv, "engine", "Database") &&
+		!isNamed(recv, "cq", "Interner") {
 		return ""
 	}
 	return types.ExprString(sel.X)

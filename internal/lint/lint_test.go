@@ -21,6 +21,10 @@ func TestInternMix(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.InternMix, "internmix")
 }
 
+func TestInternMixPlannerInterner(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.InternMix, "internmix_cq")
+}
+
 func TestWallClock(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.WallClock, "wallclock")
 }

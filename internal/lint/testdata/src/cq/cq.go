@@ -1,0 +1,53 @@
+// Package cq is the fixtures' stand-in for the real internal/cq
+// planner interner: internmix matches cq.Interner and the
+// ID/Lookup/Value plus PredID/LookupPred/PredName method sets by name,
+// so this mirror drives it exactly as the real package would.
+package cq
+
+// Term mirrors the planner term type interned by the planner interner.
+type Term string
+
+// Interner mirrors the planner symbol table: dense uint32 predicate and
+// term ids, both private to one instance.
+type Interner struct {
+	preds []string
+	terms []Term
+}
+
+// PredID interns a predicate name and returns its dense id.
+func (in *Interner) PredID(name string) uint32 {
+	in.preds = append(in.preds, name)
+	return uint32(len(in.preds) - 1)
+}
+
+// LookupPred returns a predicate's id without interning.
+func (in *Interner) LookupPred(name string) (uint32, bool) {
+	for i, have := range in.preds {
+		if have == name {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+// PredName resolves a predicate id produced by this interner.
+func (in *Interner) PredName(id uint32) string { return in.preds[id] }
+
+// ID interns t and returns its dense id.
+func (in *Interner) ID(t Term) uint32 {
+	in.terms = append(in.terms, t)
+	return uint32(len(in.terms) - 1)
+}
+
+// Lookup returns t's id without interning.
+func (in *Interner) Lookup(t Term) (uint32, bool) {
+	for i, have := range in.terms {
+		if have == t {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+// Value resolves a term id produced by this interner.
+func (in *Interner) Value(id uint32) Term { return in.terms[id] }

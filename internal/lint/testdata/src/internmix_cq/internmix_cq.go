@@ -1,0 +1,61 @@
+// The internmix_cq fixture drives the interner-boundary analyzer with
+// the stand-in planner interner: every HomTarget compiles against its
+// own cq.Interner, so term and predicate ids are private to one
+// instance exactly like the engine's.
+package kernel
+
+import "cq"
+
+// crossTermID resolves a term id from table a against table b.
+func crossTermID(a, b *cq.Interner, t cq.Term) cq.Term {
+	id := a.ID(t)
+	return b.Value(id) // want `ids are private to one interner`
+}
+
+// crossPredID resolves a predicate id from table a against table b.
+func crossPredID(a, b *cq.Interner, name string) string {
+	pid := a.PredID(name)
+	return b.PredName(pid) // want `ids are private to one interner`
+}
+
+// crossLookupPred tracks provenance through the non-interning lookup.
+func crossLookupPred(a, b *cq.Interner, name string) string {
+	pid, ok := a.LookupPred(name)
+	if !ok {
+		return ""
+	}
+	return b.PredName(pid) // want `ids are private to one interner`
+}
+
+// sameInterner keeps both id spaces inside their own table.
+func sameInterner(a *cq.Interner, name string, t cq.Term) (string, cq.Term) {
+	pid := a.PredID(name)
+	id := a.ID(t)
+	return a.PredName(pid), a.Value(id)
+}
+
+// translate re-interns explicitly and needs no annotation.
+func translate(a, b *cq.Interner, t cq.Term) uint32 {
+	id := a.ID(t)
+	return b.ID(a.Value(id))
+}
+
+// mintRaw converts a raw integer into an id position, bypassing the
+// interner — the frame-code decoding bug class.
+func mintRaw(in *cq.Interner, x int) cq.Term {
+	return in.Value(uint32(x)) // want `raw integer converted`
+}
+
+// comparePredIDs compares predicate ids from different tables.
+func comparePredIDs(a, b *cq.Interner, name string) bool {
+	pa := a.PredID(name)
+	pb := b.PredID(name)
+	return pa == pb // want `different interners`
+}
+
+// annotatedMix exercises the escape hatch.
+func annotatedMix(a, b *cq.Interner, t cq.Term) cq.Term {
+	id := a.ID(t)
+	//viewplan:intern-ok fixture: b was just Reset and recompiled from a's vocabulary in insertion order
+	return b.Value(id)
+}

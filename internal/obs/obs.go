@@ -114,35 +114,51 @@ const (
 	// CtrUnknownPreds counts join steps over predicates the database has
 	// no relation for (a likely misnamed view; they join as empty).
 	CtrUnknownPreds
+	// CtrHomBacktracks counts candidate placements the homomorphism
+	// kernel undid: a candidate target atom was tried for a source atom
+	// and either failed to match or had its subtree exhausted.
+	CtrHomBacktracks
+	// CtrHomPrunes counts candidate target atoms the homomorphism kernel
+	// eliminated without trying them: constant prefiltering at compile
+	// time plus forward-checking kills when a fresh binding contradicts a
+	// future source atom's candidate.
+	CtrHomPrunes
+	// CtrCanonicalKeyBuilds counts cq.ExactCanonicalKey computations
+	// performed for hom-cache keying (cache hits on a per-query key
+	// cache do not count).
+	CtrCanonicalKeyBuilds
 
 	// NumCounters is the number of defined counters.
 	NumCounters
 )
 
 var counterNames = [NumCounters]string{
-	CtrViewTuples:       "view_tuples",
-	CtrTupleCores:       "tuple_cores",
-	CtrEmptyCores:       "empty_cores",
-	CtrCoverNodes:       "cover_nodes",
-	CtrCoverPruned:      "cover_pruned",
-	CtrCoversFound:      "covers_found",
-	CtrVerifyChecks:     "verify_checks",
-	CtrVerifyAccepted:   "verify_accepted",
-	CtrRewritings:       "rewritings",
-	CtrHomSearches:      "hom_searches",
-	CtrHomsFound:        "homs_found",
-	CtrJoinSteps:        "join_steps",
-	CtrJoinRows:         "join_rows",
-	CtrOptStates:        "opt_states",
-	CtrOptOrders:        "opt_orders",
-	CtrFilterCandidates: "filter_candidates",
-	CtrFiltersAdded:     "filters_added",
-	CtrHomCacheHit:      "hom_cache_hits",
-	CtrHomCacheMiss:     "hom_cache_misses",
-	CtrJoinProbeRows:    "join_probe_rows",
-	CtrIRCacheHit:       "ir_cache_hits",
-	CtrIRCacheMiss:      "ir_cache_misses",
-	CtrUnknownPreds:     "unknown_predicates",
+	CtrViewTuples:         "view_tuples",
+	CtrTupleCores:         "tuple_cores",
+	CtrEmptyCores:         "empty_cores",
+	CtrCoverNodes:         "cover_nodes",
+	CtrCoverPruned:        "cover_pruned",
+	CtrCoversFound:        "covers_found",
+	CtrVerifyChecks:       "verify_checks",
+	CtrVerifyAccepted:     "verify_accepted",
+	CtrRewritings:         "rewritings",
+	CtrHomSearches:        "hom_searches",
+	CtrHomsFound:          "homs_found",
+	CtrJoinSteps:          "join_steps",
+	CtrJoinRows:           "join_rows",
+	CtrOptStates:          "opt_states",
+	CtrOptOrders:          "opt_orders",
+	CtrFilterCandidates:   "filter_candidates",
+	CtrFiltersAdded:       "filters_added",
+	CtrHomCacheHit:        "hom_cache_hits",
+	CtrHomCacheMiss:       "hom_cache_misses",
+	CtrJoinProbeRows:      "join_probe_rows",
+	CtrIRCacheHit:         "ir_cache_hits",
+	CtrIRCacheMiss:        "ir_cache_misses",
+	CtrUnknownPreds:       "unknown_predicates",
+	CtrHomBacktracks:      "hom_backtracks",
+	CtrHomPrunes:          "hom_prunes",
+	CtrCanonicalKeyBuilds: "canonical_key_builds",
 }
 
 // String returns the counter's snake_case snapshot key.

@@ -1,0 +1,8 @@
+//go:build race
+
+package views
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds allocations of its own and would
+// make allocation gates flap.
+const raceEnabled = true

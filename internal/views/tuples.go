@@ -112,21 +112,33 @@ func ComputeTuplesN(q *cq.Query, s *Set, parallelism int) []Tuple {
 // Duplicates can only arise within a single view (distinct views yield
 // distinct Tuple.View pointers), so deduplication scans only the entries
 // appended for this view.
+//
+// Answers stream straight out of the database and are deduplicated in
+// their frozen form, so the many candidate homomorphisms that reproduce
+// an already-seen tuple cost no allocation at all; the argument copy and
+// the thaw (which boxes each variable into a cq.Term) happen only for
+// answers that are kept. Deduplicating before thawing is sound because
+// freezing — and hence thawing — is injective on terms.
 func appendViewTuples(dst []Tuple, db *containment.CanonicalDB, v *View) []Tuple {
-	start := len(dst)
-	for _, frozen := range db.Evaluate(v.Def) {
-		thawed := db.ThawAtom(frozen)
-		dup := false
-		for _, prev := range dst[start:] {
-			if prev.Atom.Equal(thawed) {
-				dup = true
-				break
+	var kept [][]cq.Term // frozen args of the tuples kept for this view
+	db.EvaluateFunc(v.Def, func(frozen []cq.Term) bool {
+	candidates:
+		for _, prev := range kept {
+			for i := range frozen {
+				if prev[i] != frozen[i] {
+					continue candidates
+				}
 			}
+			return true // duplicate of an earlier homomorphism's answer
 		}
-		if !dup {
-			dst = append(dst, Tuple{View: v, Atom: thawed})
+		kept = append(kept, append([]cq.Term(nil), frozen...))
+		args := make([]cq.Term, len(frozen))
+		for i, t := range frozen {
+			args[i] = db.ThawTerm(t)
 		}
-	}
+		dst = append(dst, Tuple{View: v, Atom: cq.Atom{Pred: v.Def.Head.Pred, Args: args}})
+		return true
+	})
 	return dst
 }
 

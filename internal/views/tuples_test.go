@@ -1,0 +1,69 @@
+package views
+
+import (
+	"testing"
+
+	"viewplan/internal/containment"
+	"viewplan/internal/cq"
+)
+
+// TestAppendViewTuplesAllocs pins the allocation profile of one view's
+// tuple computation: allocations must scale with the number of *kept*
+// tuples, never with the number of candidate homomorphisms. The workload
+// is a star query whose canonical database gives the self-join view 64
+// homomorphisms that all collapse to the single tuple v(X) — so a
+// regression that re-introduces per-homomorphism expansion or thaw
+// allocation inflates the measurement by an order of magnitude.
+func TestAppendViewTuplesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; gate runs in non-race builds")
+	}
+	q := cq.MustParseQuery(
+		"q(X) :- e(X, Y1), e(X, Y2), e(X, Y3), e(X, Y4), e(X, Y5), e(X, Y6), e(X, Y7), e(X, Y8)")
+	s := mustSet(t, "v(A) :- e(A, B), e(A, C).")
+	db := containment.FreezeQuery(q)
+	v := s.Views[0]
+
+	var dst []Tuple
+	dst = appendViewTuples(dst, db, v) // warm pools and dst capacity
+	if len(dst) != 1 || dst[0].Atom.String() != "v(X)" {
+		t.Fatalf("got tuples %v, want [v(X)]", dst)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = appendViewTuples(dst[:0], db, v)
+	})
+	// Per run: the head-image buffer, the kept tuple's frozen and thawed
+	// argument copies, and a little slice growth — a fixed handful. 64
+	// per-homomorphism allocations would land far above this gate.
+	const maxAllocs = 12
+	if allocs > maxAllocs {
+		t.Fatalf("appendViewTuples allocated %.0f times per run, want <= %d", allocs, maxAllocs)
+	}
+	if len(dst) != 1 {
+		t.Fatalf("measured run produced %d tuples, want 1", len(dst))
+	}
+}
+
+// TestComputeTuplesNMatchesSequential pins that the parallel fan-out
+// produces the byte-identical tuple slice the sequential path does.
+func TestComputeTuplesNMatchesSequential(t *testing.T) {
+	s := mustSet(t, `
+		v1(A, B) :- e(A, C), e(C, B).
+		v2(A) :- e(A, A).
+		v3(A, B) :- e(A, B), e(B, A).
+	`)
+	q := cq.MustParseQuery("q(X, Y) :- e(X, Z), e(Z, Y), e(Y, X)")
+	seq := ComputeTuplesN(q, s, 1)
+	for _, par := range []int{2, 8} {
+		got := ComputeTuplesN(q, s, par)
+		if len(got) != len(seq) {
+			t.Fatalf("parallelism %d: %d tuples, want %d", par, len(got), len(seq))
+		}
+		for i := range seq {
+			if got[i].View != seq[i].View || !got[i].Atom.Equal(seq[i].Atom) {
+				t.Fatalf("parallelism %d: tuple %d = %v, want %v", par, i, got[i], seq[i])
+			}
+		}
+	}
+}

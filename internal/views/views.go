@@ -88,17 +88,27 @@ func (s *Set) Names() []string {
 }
 
 // Subset returns a new Set containing only the named views, in the given
-// order.
+// order. The returned set shares the receiver's View objects: view
+// definitions are private clones made once by NewSet and treated as
+// immutable everywhere after, so re-validating and re-cloning them per
+// subset would be pure allocation churn on the planner's per-query path
+// (CoreCover subsets to the equivalence-class representatives on every
+// run). Tuple.View pointers consequently compare equal across a set and
+// its subsets.
 func (s *Set) Subset(names []string) (*Set, error) {
-	defs := make([]*cq.Query, 0, len(names))
+	sub := &Set{byName: make(map[string]*View, len(names))}
 	for _, n := range names {
 		v := s.ByName(n)
 		if v == nil {
 			return nil, fmt.Errorf("views: unknown view %q", n)
 		}
-		defs = append(defs, v.Def)
+		if _, dup := sub.byName[n]; dup {
+			return nil, fmt.Errorf("views: duplicate view name %q", n)
+		}
+		sub.Views = append(sub.Views, v)
+		sub.byName[n] = v
 	}
-	return NewSet(defs...)
+	return sub, nil
 }
 
 // Expand computes the expansion P^exp of a rewriting P: every view subgoal
@@ -199,13 +209,17 @@ func (s *Set) EquivalenceClasses() [][]*View {
 	return classes
 }
 
-// anonymizeHead returns a copy of def whose head predicate is replaced by
-// a fixed placeholder, so views with different names can be compared as
-// queries.
+// anonymizeHead returns a view of def whose head predicate is replaced
+// by a fixed placeholder, so views with different names can be compared
+// as queries. The result shares def's argument and body storage — it
+// feeds the read-only Minimize/CanonicalKey pipeline, where a deep clone
+// per view would double the grouping phase's allocations.
 func anonymizeHead(def *cq.Query) *cq.Query {
-	c := def.Clone()
-	c.Head.Pred = "_viewdef"
-	return c
+	return &cq.Query{
+		Head:        cq.Atom{Pred: "_viewdef", Args: def.Head.Args},
+		Body:        def.Body,
+		Comparisons: def.Comparisons,
+	}
 }
 
 // Representatives returns one view per equivalence class, preserving set

@@ -1,46 +1,57 @@
 #!/usr/bin/env bash
-# Engine allocation regression gate: runs the Fig. 6a star M2 planning
-# benchmark with -benchmem and compares allocs/op against the checked-in
-# baseline (scripts/bench_engine_baseline.txt). Allocations per op are
-# deterministic for the fixed workload, unlike wall time, so the gate is
-# usable on loaded CI machines. Fails when allocs/op regress more than
-# 10% above baseline; an improvement beyond 10% prints a reminder to
-# re-baseline.
+# Allocation regression gates: run the Fig. 6a star benchmarks with
+# -benchmem and compare allocs/op against the checked-in baselines.
+# Allocations per op are deterministic for the fixed workloads, unlike
+# wall time, so the gates are usable on loaded CI machines. Two gates
+# run: the M2 end-to-end benchmark (engine baseline) and the
+# planning-phase benchmark over 200 views (planner baseline, guarding
+# the interned homomorphism/cover kernels). A gate fails when allocs/op
+# regress more than 10% above its baseline; an improvement beyond 10%
+# prints a reminder to re-baseline.
 #
 # Usage: scripts/bench_engine.sh [-update]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH='BenchmarkFig6aStarM2/views=100'
-BASELINE_FILE=scripts/bench_engine_baseline.txt
+BENCHES=(
+    'BenchmarkFig6aStarM2/views=100 scripts/bench_engine_baseline.txt bench_engine'
+    'BenchmarkFig6aStarPlanning scripts/bench_planner_baseline.txt bench_planner'
+)
 
-out=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime 3x . 2>&1) || {
+fail=0
+for entry in "${BENCHES[@]}"; do
+    read -r bench baseline_file name <<<"$entry"
+
+    out=$(go test -run '^$' -bench "^${bench}\$" -benchmem -benchtime 3x . 2>&1) || {
+        echo "$out"
+        exit 1
+    }
     echo "$out"
-    exit 1
-}
-echo "$out"
-allocs=$(echo "$out" | awk '/allocs\/op/ {print $(NF-1); exit}')
-if [ -z "$allocs" ]; then
-    echo "bench_engine: could not parse allocs/op from benchmark output" >&2
-    exit 1
-fi
+    allocs=$(echo "$out" | awk '/allocs\/op/ {print $(NF-1); exit}')
+    if [ -z "$allocs" ]; then
+        echo "$name: could not parse allocs/op from benchmark output" >&2
+        exit 1
+    fi
 
-if [ "${1:-}" = "-update" ]; then
-    echo "$allocs" > "$BASELINE_FILE"
-    echo "bench_engine: baseline updated to $allocs allocs/op"
-    exit 0
-fi
+    if [ "${1:-}" = "-update" ]; then
+        echo "$allocs" > "$baseline_file"
+        echo "$name: baseline updated to $allocs allocs/op"
+        continue
+    fi
 
-baseline=$(cat "$BASELINE_FILE")
-# Integer math: fail when allocs > baseline * 1.1.
-limit=$((baseline + baseline / 10))
-floor=$((baseline - baseline / 10))
-echo "bench_engine: $allocs allocs/op (baseline $baseline, limit $limit)"
-if [ "$allocs" -gt "$limit" ]; then
-    echo "bench_engine: FAIL — allocs/op regressed >10% over baseline" >&2
-    exit 1
-fi
-if [ "$allocs" -lt "$floor" ]; then
-    echo "bench_engine: improved >10% under baseline; run scripts/bench_engine.sh -update to lock it in"
-fi
-echo "bench_engine: OK"
+    baseline=$(cat "$baseline_file")
+    # Integer math: fail when allocs > baseline * 1.1.
+    limit=$((baseline + baseline / 10))
+    floor=$((baseline - baseline / 10))
+    echo "$name: $allocs allocs/op (baseline $baseline, limit $limit)"
+    if [ "$allocs" -gt "$limit" ]; then
+        echo "$name: FAIL — allocs/op regressed >10% over baseline" >&2
+        fail=1
+        continue
+    fi
+    if [ "$allocs" -lt "$floor" ]; then
+        echo "$name: improved >10% under baseline; run scripts/bench_engine.sh -update to lock it in"
+    fi
+    echo "$name: OK"
+done
+exit "$fail"
