@@ -3,11 +3,13 @@
 # runs just the repo's analyzer suite; `make test` is the full suite;
 # `make bench` runs the engine allocation gate (Fig. 6a M2 planning,
 # allocs/op diffed against scripts/bench_engine_baseline.txt, >10%
-# regression fails); `make benchall` runs every benchmark.
+# regression fails); `make benchall` runs every benchmark; `make trace`
+# exports a sample Perfetto trace of a Fig. 6a run and validates the
+# trace-event JSON with tracecheck.
 
 GO ?= go
 
-.PHONY: build test check lint bench benchall vet
+.PHONY: build test check lint bench benchall vet trace
 
 build:
 	$(GO) build ./...
@@ -30,3 +32,12 @@ bench:
 
 benchall:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# A small Fig. 6a sweep with span capture on: writes bin/trace_fig6a.json
+# and verifies it is well-formed trace-event JSON (then open the file at
+# https://ui.perfetto.dev to inspect the run as a timeline).
+trace:
+	$(GO) build -o bin/benchviews ./cmd/benchviews
+	$(GO) build -o bin/tracecheck ./cmd/tracecheck
+	./bin/benchviews -fig 6a -queries 4 -views 100 -cost m2 -traceout bin/trace_fig6a.json >/dev/null
+	./bin/tracecheck bin/trace_fig6a.json

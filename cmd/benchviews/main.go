@@ -12,6 +12,8 @@
 //	benchviews -fig 6a -nogroup     # ablation: grouping disabled
 //	benchviews -fig 6a -parallel 0  # planner fanout across all cores
 //	benchviews -fig 6a -jobs 8      # sweep 8 queries concurrently
+//	benchviews -fig 6a -registry localhost:8080   # live telemetry: GET /metrics
+//	benchviews -fig 6a -traceout trace.json       # Perfetto trace of one run
 //
 // -parallel bounds the worker pool inside each CoreCover run (0 =
 // GOMAXPROCS) and therefore changes the per-query times the figures
@@ -24,6 +26,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,6 +37,7 @@ import (
 	"viewplan/internal/corecover"
 	"viewplan/internal/cost"
 	"viewplan/internal/experiments"
+	"viewplan/internal/obs"
 )
 
 func main() {
@@ -50,8 +55,10 @@ func main() {
 		capFl   = flag.Int("cap", 0, "cap the rewritings considered per query (0 = all; keeps -cost sweeps bounded)")
 		rows    = flag.Int("rows", 0, "synthetic rows per base relation for -cost runs (default 100)")
 		domain  = flag.Int("domain", 0, "distinct values per column domain for -cost runs (default 100)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile (post-sweep, after GC) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-sweep, after GC) to this file")
+		registry = flag.String("registry", "", "serve live sweep telemetry (counters, phase times, latency histograms) as JSON on this address, e.g. localhost:8080; GET /metrics")
+		traceOut = flag.String("traceout", "", "write a Chrome trace-event file (Perfetto-loadable) of one representative traced run of the first figure's workload")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -66,7 +73,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par, *jobs, *metrics, *costFl, *rows, *domain, *capFl); err != nil {
+	if err := run(*fig, *queries, *viewsFl, *seed, *nogroup, *subg, *par, *jobs, *metrics, *costFl, *rows, *domain, *capFl, *registry, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchviews:", err)
 		os.Exit(1)
 	}
@@ -85,7 +92,7 @@ func main() {
 	}
 }
 
-func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel, jobs int, metricsFile, costFl string, rows, domain, cap int) error {
+func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subgoals, parallel, jobs int, metricsFile, costFl string, rows, domain, cap int, registryAddr, traceOut string) error {
 	var costModel cost.Model
 	switch strings.ToLower(costFl) {
 	case "":
@@ -114,6 +121,27 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 		}
 	}
 
+	// The process registry aggregates the whole invocation — sweeps
+	// absorb into it here, and the containment/join kernels feed their
+	// per-search histograms into it from below; -registry serves it
+	// live, and -metrics embeds its final snapshot in the report.
+	var reg *obs.Registry
+	if registryAddr != "" || metricsFile != "" || traceOut != "" {
+		reg = obs.Process
+	}
+	if registryAddr != "" {
+		ln, err := net.Listen("tcp", registryAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving telemetry at http://%s/metrics\n", ln.Addr())
+	}
+
 	// Figures sharing a sweep reuse its points.
 	type key struct {
 		shape   string
@@ -121,6 +149,7 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 	}
 	cache := make(map[key][]experiments.Point)
 	var report []experiments.FigureMetrics
+	var traceCfg *experiments.SweepConfig
 	for _, f := range figures {
 		cfg, err := experiments.ConfigFor(f)
 		if err != nil {
@@ -148,6 +177,11 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 		// The planner fanout bound is measured per query, so it composes
 		// with -jobs (which only overlaps whole queries).
 		cfg.Options.Parallelism = parallel
+		cfg.Registry = reg
+		if traceCfg == nil {
+			c := cfg
+			traceCfg = &c
+		}
 		k := key{cfg.Shape.String(), cfg.Nondistinguished}
 		pts, ok := cache[k]
 		if !ok {
@@ -174,12 +208,33 @@ func run(fig string, queries int, viewsFl string, seed int64, nogroup bool, subg
 			})
 		}
 	}
+	if traceOut != "" {
+		if traceCfg == nil {
+			return fmt.Errorf("-traceout needs at least one figure swept")
+		}
+		out, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := experiments.TraceRun(*traceCfg, out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open at ui.perfetto.dev)\n", traceOut)
+	}
 	if metricsFile != "" {
 		out, err := os.Create(metricsFile)
 		if err != nil {
 			return err
 		}
-		if err := experiments.WriteMetrics(out, report); err != nil {
+		doc := &experiments.MetricsReport{Figures: report}
+		if reg != nil {
+			doc.Registry = reg.Snapshot()
+		}
+		if err := experiments.WriteMetricsReport(out, doc); err != nil {
 			out.Close()
 			return err
 		}

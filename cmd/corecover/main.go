@@ -13,14 +13,16 @@
 // Usage:
 //
 //	corecover [-star] [-algo corecover|minicon|bucket|naive] [-verbose]
-//	          [-trace] [-explain] [-parallel N] [-data facts.dl]
-//	          [-model M1|M2|M3] file.dl
+//	          [-trace] [-traceout trace.json] [-explain] [-parallel N]
+//	          [-data facts.dl] [-model M1|M2|M3] file.dl
 //
 // With -data, the base facts are loaded, views are materialized, and each
 // rewriting is costed under the chosen model. With -trace, a per-phase
 // time and work-counter breakdown of the planning run is printed. With
-// -explain, each rewriting is annotated with the query subgoals every
-// view literal covers (and, with -data, the chosen plan's step tree).
+// -traceout, the run's phase spans are written as a Chrome trace-event
+// file, loadable at ui.perfetto.dev. With -explain, each rewriting is
+// annotated with the query subgoals every view literal covers (and, with
+// -data, the chosen plan's step tree).
 package main
 
 import (
@@ -51,6 +53,7 @@ type config struct {
 	model    string // M1, M2, M3
 	maxRW    int    // rewriting cap (0 = all)
 	parallel int    // planner worker-pool bound (0 = GOMAXPROCS)
+	traceout string // Chrome trace-event output file
 }
 
 func main() {
@@ -64,6 +67,7 @@ func main() {
 	flag.StringVar(&cfg.model, "model", "M2", "cost model for -data plans: M1, M2, or M3")
 	flag.IntVar(&cfg.maxRW, "max", 0, "cap the number of rewritings (0 = all)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "planner worker-pool bound: 0 = GOMAXPROCS, 1 = sequential (output is identical for every setting)")
+	flag.StringVar(&cfg.traceout, "traceout", "", "write the run's phase spans as a Chrome trace-event file (Perfetto-loadable)")
 	flag.Parse()
 	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "corecover:", err)
@@ -95,8 +99,11 @@ func run(w io.Writer, cfg config, args []string) error {
 	fmt.Fprintf(w, "views: %d\n", vs.Len())
 
 	var tracer *viewplan.Tracer
-	if cfg.trace {
+	if cfg.trace || cfg.traceout != "" {
 		tracer = viewplan.NewTracer()
+	}
+	if cfg.traceout != "" {
+		tracer.CaptureEvents()
 	}
 
 	var rewritings []*cq.Query
@@ -131,8 +138,8 @@ func run(w io.Writer, cfg config, args []string) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", cfg.algo)
 	}
-	if cfg.trace && cfg.algo != "corecover" {
-		return fmt.Errorf("-trace instruments the corecover algorithm only (got -algo %s)", cfg.algo)
+	if (cfg.trace || cfg.traceout != "") && cfg.algo != "corecover" {
+		return fmt.Errorf("-trace and -traceout instrument the corecover algorithm only (got -algo %s)", cfg.algo)
 	}
 	if cfg.explain && res == nil {
 		return fmt.Errorf("-explain needs the corecover algorithm (got -algo %s)", cfg.algo)
@@ -140,8 +147,10 @@ func run(w io.Writer, cfg config, args []string) error {
 
 	if len(rewritings) == 0 {
 		fmt.Fprintln(w, "no equivalent rewriting exists")
-		printTrace(w, tracer)
-		return nil
+		if cfg.trace {
+			printTrace(w, tracer)
+		}
+		return writeTraceFile(cfg.traceout, tracer)
 	}
 	fmt.Fprintf(w, "rewritings (%d):\n", len(rewritings))
 	for _, p := range rewritings {
@@ -156,8 +165,10 @@ func run(w io.Writer, cfg config, args []string) error {
 			return err
 		}
 	}
-	printTrace(w, tracer)
-	return nil
+	if cfg.trace {
+		printTrace(w, tracer)
+	}
+	return writeTraceFile(cfg.traceout, tracer)
 }
 
 // printTrace renders the tracer snapshot (phase breakdown + counters).
@@ -166,6 +177,27 @@ func printTrace(w io.Writer, tracer *viewplan.Tracer) {
 		return
 	}
 	fmt.Fprint(w, tracer.Snapshot().Text())
+}
+
+// writeTraceFile writes the tracer's captured spans as a Chrome
+// trace-event file; a no-op when no path was given.
+func writeTraceFile(path string, tracer *viewplan.Tracer) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := viewplan.WriteTrace(f, tracer); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s (open at ui.perfetto.dev)\n", path)
+	return nil
 }
 
 func printDetails(w io.Writer, res *corecover.Result) {

@@ -190,9 +190,16 @@ type homRun struct {
 	backtracks, prunes, found uint64
 }
 
+// homBacktracksHist records per-search backtrack counts into the
+// process registry: the tail of this distribution is what the averaged
+// hom_backtracks counter hides, and it is too deep to thread a per-run
+// registry through (same reasoning as obs.Global for the counters).
+var homBacktracksHist = obs.Process.Histogram(obs.HistHomBacktracks)
+
 func (r *homRun) flush() {
 	g := &obs.Global
 	g.Add(obs.CtrHomSearches, 1)
+	homBacktracksHist.Observe(int64(r.backtracks))
 	if r.found > 0 {
 		g.Add(obs.CtrHomsFound, int64(r.found))
 		r.found = 0

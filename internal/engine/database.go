@@ -290,6 +290,13 @@ func JoinSchema(cur Schema, atom cq.Atom) Schema {
 	return out
 }
 
+// joinRowsHist records each join step's output cardinality into the
+// process registry. The kernel is shared by every rewriting's cost
+// simulation, so a per-request registry can't be threaded here without
+// touching every optimizer; the observe is a handful of atomic adds and
+// allocates nothing, keeping the benchmark allocation gates intact.
+var joinRowsHist = obs.Process.Histogram(obs.HistJoinRows)
+
 // JoinStep joins the current intermediate relation with one subgoal's
 // relation: a hash join on the variables shared between the intermediate
 // schema and the atom, with constant and repeated-variable positions of
@@ -427,6 +434,7 @@ func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*
 			}
 		}
 	}
+	joinRowsHist.Observe(int64(out.Size()))
 	if tr != nil {
 		tr.Add(obs.CtrJoinSteps, 1)
 		tr.Add(obs.CtrJoinRows, int64(out.Size()))

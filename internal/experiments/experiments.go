@@ -33,6 +33,14 @@ type Point struct {
 	AvgMillis float64 `json:"avg_ms"`
 	// MaxMillis is the worst query's time.
 	MaxMillis float64 `json:"max_ms"`
+	// P50Millis, P90Millis and P99Millis are latency percentiles of the
+	// per-query CoreCover times at this point, estimated from a
+	// log-bucketed histogram (relative error ≤ 6.25%; see obs.Histogram).
+	// The mean of a sweep point hides stragglers; the paper's max curve
+	// shows only the single worst query — the percentiles sit between.
+	P50Millis float64 `json:"p50_ms"`
+	P90Millis float64 `json:"p90_ms"`
+	P99Millis float64 `json:"p99_ms"`
 	// AvgViewClasses is the mean number of view equivalence classes
 	// (Figures 7(a)/9(a), "number of representative views").
 	AvgViewClasses float64 `json:"avg_view_classes"`
@@ -54,20 +62,33 @@ type Point struct {
 	// obs counter names, e.g. "hom_searches", "cover_nodes".
 	Counters map[string]int64 `json:"counters,omitempty"`
 	// PhaseNanos are the summed per-phase wall times over the same
-	// queries, flattened by phase name (SweepConfig.Trace only).
+	// queries, flattened by phase name (SweepConfig.Trace only). Each
+	// phase's time includes its children; recursing phases count nested
+	// invocations at every level, so these columns don't sum to wall
+	// time — PhaseSelfNanos does.
 	PhaseNanos map[string]int64 `json:"phase_nanos,omitempty"`
+	// PhaseSelfNanos are the summed per-phase self times (children
+	// excluded); they telescope to the total observed time.
+	PhaseSelfNanos map[string]int64 `json:"phase_self_nanos,omitempty"`
 	// AvgPlanMillis is the mean end-to-end PlanQuery time under
 	// SweepConfig.CostModel (zero when cost planning is off).
 	AvgPlanMillis float64 `json:"avg_plan_ms,omitempty"`
 	// MaxPlanMillis is the worst query's planning time.
 	MaxPlanMillis float64 `json:"max_plan_ms,omitempty"`
+	// PlanP50Millis, PlanP90Millis and PlanP99Millis are the planning
+	// latency percentiles, like P50Millis for the CostModel runs.
+	PlanP50Millis float64 `json:"plan_p50_ms,omitempty"`
+	PlanP90Millis float64 `json:"plan_p90_ms,omitempty"`
+	PlanP99Millis float64 `json:"plan_p99_ms,omitempty"`
 	// AvgPlanCost is the mean chosen-plan cost under the cost model.
 	AvgPlanCost float64 `json:"avg_plan_cost,omitempty"`
-	// PlanCounters / PlanPhaseNanos aggregate the cost-planning runs'
-	// observability snapshots (engine counters such as join_probe_rows,
-	// ir_cache_hits live here; SweepConfig.Trace and CostModel only).
-	PlanCounters   map[string]int64 `json:"plan_counters,omitempty"`
-	PlanPhaseNanos map[string]int64 `json:"plan_phase_nanos,omitempty"`
+	// PlanCounters / PlanPhaseNanos / PlanPhaseSelfNanos aggregate the
+	// cost-planning runs' observability snapshots (engine counters such
+	// as join_probe_rows, ir_cache_hits live here; SweepConfig.Trace and
+	// CostModel only).
+	PlanCounters       map[string]int64 `json:"plan_counters,omitempty"`
+	PlanPhaseNanos     map[string]int64 `json:"plan_phase_nanos,omitempty"`
+	PlanPhaseSelfNanos map[string]int64 `json:"plan_phase_self_nanos,omitempty"`
 }
 
 // SweepConfig parameterizes one figure-generating sweep.
@@ -113,6 +134,14 @@ type SweepConfig struct {
 	// keeps star-join fan-out near 1).
 	DataRows   int
 	DataDomain int
+	// Registry, when non-nil, accumulates the sweep into process-lifetime
+	// telemetry: every CoreCover run's latency lands in the
+	// corecover_latency_ns histogram (with its counters and phase times
+	// when Trace is on), and CostModel runs record through
+	// PlanRequest.Registry (requests, plan_latency_ns,
+	// rewritings_considered). Serve it with obs.Handler to watch a sweep
+	// live (`benchviews -registry`).
+	Registry *obs.Registry
 }
 
 // DefaultViewCounts is the paper's x axis: 100 to 1000 views.
@@ -148,12 +177,14 @@ func (c SweepConfig) Normalize() SweepConfig {
 type queryResult struct {
 	ok                     bool
 	ms                     float64
+	ns                     int64
 	viewClasses, repTuples int
 	gmrs, gmrSize          int
 	allTuples              int
 	stats                  *obs.Snapshot
 	planned                bool
 	planMs                 float64
+	planNs                 int64
 	planCost               int
 	planStats              *obs.Snapshot
 	err                    error
@@ -187,12 +218,17 @@ func Run(cfg SweepConfig) ([]Point, error) {
 				return queryResult{err: err}
 			}
 			elapsed := time.Since(start) //viewplan:nondet-ok wall time is reported to humans in the experiment tables and never feeds back into planning
+			if cfg.Registry != nil {
+				cfg.Registry.RecordLatency(obs.HistCoreCoverLatency, elapsed)
+				cfg.Registry.Absorb(res.PlanningStats)
+			}
 			if len(res.Rewritings) == 0 {
 				return queryResult{} // the paper ignores queries without rewritings
 			}
 			qr := queryResult{
 				ok:          true,
 				ms:          float64(elapsed.Microseconds()) / 1000.0,
+				ns:          elapsed.Nanoseconds(),
 				viewClasses: len(res.ViewClasses),
 				repTuples:   countNonEmptyClasses(res),
 				gmrs:        len(res.Rewritings),
@@ -208,7 +244,8 @@ func Run(cfg SweepConfig) ([]Point, error) {
 					return queryResult{err: err}
 				}
 				qr.planned = pr.planned
-				qr.planMs, qr.planCost, qr.planStats = pr.planMs, pr.planCost, pr.planStats
+				qr.planMs, qr.planNs = pr.planMs, pr.planNs
+				qr.planCost, qr.planStats = pr.planCost, pr.planStats
 			}
 			return qr
 		}
@@ -231,6 +268,9 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			}
 		}
 		planned := 0
+		// Per-point latency histograms back the percentile columns; the
+		// log-bucketed estimate keeps them cheap at any QueriesPerPoint.
+		latency, planLatency := obs.NewHistogram(), obs.NewHistogram()
 		for _, r := range results {
 			if r.err != nil {
 				return nil, r.err
@@ -240,6 +280,7 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			}
 			pt.WithRewriting++
 			pt.AvgMillis += r.ms
+			latency.Observe(r.ns)
 			if r.ms > pt.MaxMillis {
 				pt.MaxMillis = r.ms
 			}
@@ -252,6 +293,7 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			if r.planned {
 				planned++
 				pt.AvgPlanMillis += r.planMs
+				planLatency.Observe(r.planNs)
 				if r.planMs > pt.MaxPlanMillis {
 					pt.MaxPlanMillis = r.planMs
 				}
@@ -267,10 +309,18 @@ func Run(cfg SweepConfig) ([]Point, error) {
 			pt.AvgAllTuples /= n
 			pt.AvgGMRs /= n
 			pt.AvgGMRSize /= n
+			ls := latency.Snapshot()
+			pt.P50Millis = float64(ls.P50) / 1e6
+			pt.P90Millis = float64(ls.P90) / 1e6
+			pt.P99Millis = float64(ls.P99) / 1e6
 		}
 		if planned > 0 {
 			pt.AvgPlanMillis /= float64(planned)
 			pt.AvgPlanCost /= float64(planned)
+			ps := planLatency.Snapshot()
+			pt.PlanP50Millis = float64(ps.P50) / 1e6
+			pt.PlanP90Millis = float64(ps.P90) / 1e6
+			pt.PlanP99Millis = float64(ps.P99) / 1e6
 		}
 		out = append(out, pt)
 	}
@@ -291,6 +341,7 @@ func planOne(cfg SweepConfig, inst *workload.Instance, qi int) (queryResult, err
 		Model:         cfg.CostModel,
 		MaxRewritings: cfg.Options.MaxRewritings,
 		Parallelism:   cfg.Options.Parallelism,
+		Registry:      cfg.Registry,
 	}
 	if cfg.Trace {
 		req.Tracer = obs.New()
@@ -307,6 +358,7 @@ func planOne(cfg SweepConfig, inst *workload.Instance, qi int) (queryResult, err
 	return queryResult{
 		planned:   true,
 		planMs:    float64(elapsed.Microseconds()) / 1000.0,
+		planNs:    elapsed.Nanoseconds(),
 		planCost:  res.Cost,
 		planStats: res.Stats,
 	}, nil
@@ -315,21 +367,24 @@ func planOne(cfg SweepConfig, inst *workload.Instance, qi int) (queryResult, err
 // absorb folds one query's observability snapshot into the point's
 // counter and phase-time sums.
 func (pt *Point) absorb(s *obs.Snapshot) {
-	pt.Counters, pt.PhaseNanos = absorbInto(pt.Counters, pt.PhaseNanos, s)
+	pt.Counters, pt.PhaseNanos, pt.PhaseSelfNanos =
+		absorbInto(pt.Counters, pt.PhaseNanos, pt.PhaseSelfNanos, s)
 }
 
 // absorbPlan is absorb for the cost-planning snapshot.
 func (pt *Point) absorbPlan(s *obs.Snapshot) {
-	pt.PlanCounters, pt.PlanPhaseNanos = absorbInto(pt.PlanCounters, pt.PlanPhaseNanos, s)
+	pt.PlanCounters, pt.PlanPhaseNanos, pt.PlanPhaseSelfNanos =
+		absorbInto(pt.PlanCounters, pt.PlanPhaseNanos, pt.PlanPhaseSelfNanos, s)
 }
 
-func absorbInto(counters, phases map[string]int64, s *obs.Snapshot) (map[string]int64, map[string]int64) {
+func absorbInto(counters, phases, selfs map[string]int64, s *obs.Snapshot) (map[string]int64, map[string]int64, map[string]int64) {
 	if s == nil {
-		return counters, phases
+		return counters, phases, selfs
 	}
 	if counters == nil {
 		counters = make(map[string]int64)
 		phases = make(map[string]int64)
+		selfs = make(map[string]int64)
 	}
 	for name, v := range s.Counters {
 		counters[name] += v
@@ -338,11 +393,12 @@ func absorbInto(counters, phases map[string]int64, s *obs.Snapshot) (map[string]
 	walk = func(ps []obs.PhaseStats) {
 		for _, p := range ps {
 			phases[p.Phase] += p.Nanos
+			selfs[p.Phase] += p.SelfNanos
 			walk(p.Children)
 		}
 	}
 	walk(s.Phases)
-	return counters, phases
+	return counters, phases, selfs
 }
 
 func countNonEmptyClasses(res *corecover.Result) int {
@@ -397,6 +453,67 @@ func ConfigFor(fig Figure) (SweepConfig, error) {
 	return base, nil
 }
 
+// TraceRun plans one representative instance of the sweep with span
+// capture on and writes the run as a Chrome trace-event file (load it
+// at ui.perfetto.dev or chrome://tracing). The first seeded instance
+// with a rewriting is used: its CoreCover run is always traced, and
+// when cfg.CostModel is set the end-to-end PlanQuery over materialized
+// synthetic views is traced as a second thread.
+func TraceRun(cfg SweepConfig, w io.Writer) error {
+	cfg = cfg.Normalize()
+	nv := cfg.ViewCounts[0]
+	for qi := 0; qi < cfg.QueriesPerPoint; qi++ {
+		inst, err := workload.Generate(workload.Config{
+			Shape:            cfg.Shape,
+			QuerySubgoals:    cfg.QuerySubgoals,
+			NumViews:         nv,
+			Nondistinguished: cfg.Nondistinguished,
+			Seed:             cfg.Seed + int64(qi),
+		})
+		if err != nil {
+			return err
+		}
+		tr := obs.New()
+		tr.CaptureEvents()
+		opts := cfg.Options
+		opts.Tracer = tr
+		res, err := corecover.CoreCover(inst.Query, inst.Views, opts)
+		if err != nil {
+			return err
+		}
+		if len(res.Rewritings) == 0 {
+			continue
+		}
+		if cfg.Registry != nil {
+			cfg.Registry.Absorb(tr.Snapshot())
+		}
+		tracers := []*obs.Tracer{tr}
+		if cfg.CostModel != 0 {
+			db := engine.NewDatabase()
+			gen := engine.NewDataGen(cfg.Seed+int64(qi)+7919, cfg.DataDomain)
+			gen.FillForQuery(db, inst.Query, cfg.DataRows)
+			if err := db.MaterializeViews(inst.Views); err != nil {
+				return err
+			}
+			ptr := obs.New()
+			ptr.CaptureEvents()
+			req := viewplan.PlanRequest{
+				Model:         cfg.CostModel,
+				MaxRewritings: cfg.Options.MaxRewritings,
+				Parallelism:   cfg.Options.Parallelism,
+				Tracer:        ptr,
+				Registry:      cfg.Registry,
+			}
+			if _, err := viewplan.PlanQuery(db, inst.Query, inst.Views, req); err != nil {
+				return err
+			}
+			tracers = append(tracers, ptr)
+		}
+		return obs.WriteTraceEvents(w, tracers...)
+	}
+	return fmt.Errorf("experiments: no instance with a rewriting at %d views (shape %s)", nv, cfg.Shape)
+}
+
 // FigureMetrics is one figure's sweep in the machine-readable report
 // written by `benchviews -metrics FILE` (the BENCH_*.json trajectory
 // files): the sweep's identity plus every Point with its counter and
@@ -409,8 +526,33 @@ type FigureMetrics struct {
 	Points           []Point `json:"points"`
 }
 
-// WriteMetrics renders the report as indented JSON.
+// MetricsSchema is the version of the -metrics JSON layout. Schema 1
+// was a bare []FigureMetrics array; schema 2 wraps it in an object with
+// a version tag, adds latency percentiles and phase self-times to every
+// Point, and can carry a registry snapshot of the whole run.
+const MetricsSchema = 2
+
+// MetricsReport is the top-level -metrics document (schema 2).
+type MetricsReport struct {
+	// Schema is MetricsSchema; consumers should reject versions they
+	// don't know.
+	Schema int `json:"schema"`
+	// Figures holds one entry per figure swept, in run order.
+	Figures []FigureMetrics `json:"figures"`
+	// Registry is the process-lifetime telemetry snapshot of the run,
+	// when a registry was attached (SweepConfig.Registry).
+	Registry *obs.RegistrySnapshot `json:"registry,omitempty"`
+}
+
+// WriteMetrics renders the report as indented JSON (schema 2).
 func WriteMetrics(w io.Writer, report []FigureMetrics) error {
+	return WriteMetricsReport(w, &MetricsReport{Figures: report})
+}
+
+// WriteMetricsReport renders a full metrics document, stamping the
+// schema version.
+func WriteMetricsReport(w io.Writer, report *MetricsReport) error {
+	report.Schema = MetricsSchema
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

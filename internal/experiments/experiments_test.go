@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"viewplan/internal/obs"
 	"viewplan/internal/workload"
 )
 
@@ -206,9 +208,92 @@ func TestWriteMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := buf.String()
-	for _, want := range []string{`"figure": "6a"`, `"num_views": 40`, `"view_tuples": 7`} {
+	for _, want := range []string{`"schema": 2`, `"figures"`, `"figure": "6a"`, `"num_views": 40`, `"view_tuples": 7`} {
 		if !strings.Contains(s, want) {
 			t.Errorf("metrics JSON missing %s:\n%s", want, s)
 		}
+	}
+}
+
+func TestSweepPercentilesSelfTimesAndRegistry(t *testing.T) {
+	cfg := smallSweep(workload.Star, 0)
+	cfg.Trace = true
+	cfg.Registry = obs.NewRegistry()
+	pts, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.WithRewriting == 0 {
+			continue
+		}
+		if p.P50Millis <= 0 || p.P50Millis > p.P90Millis || p.P90Millis > p.P99Millis {
+			t.Errorf("percentiles not ordered at %d views: p50=%f p90=%f p99=%f",
+				p.NumViews, p.P50Millis, p.P90Millis, p.P99Millis)
+		}
+		// The p99 estimate can overshoot the true max by at most half a
+		// bucket (6.25% relative).
+		if p.P99Millis > p.MaxMillis*1.07 {
+			t.Errorf("p99 %f far above max %f at %d views", p.P99Millis, p.MaxMillis, p.NumViews)
+		}
+		if len(p.PhaseSelfNanos) == 0 {
+			t.Fatalf("phase self-times missing at %d views", p.NumViews)
+		}
+		// Self-times telescope: their sum equals the root phase totals.
+		var selfSum int64
+		for _, ns := range p.PhaseSelfNanos {
+			selfSum += ns
+		}
+		if total := p.PhaseNanos["corecover"]; selfSum != total {
+			t.Errorf("self-time sum %d != corecover total %d at %d views", selfSum, total, p.NumViews)
+		}
+	}
+	// The registry saw every query attempted (rewriting or not): the
+	// CoreCover latency histogram records one observation per query.
+	snap := cfg.Registry.Snapshot()
+	h, ok := snap.Histograms[obs.HistCoreCoverLatency]
+	if !ok {
+		t.Fatal("registry missing corecover latency histogram")
+	}
+	if want := int64(len(pts) * cfg.QueriesPerPoint); h.Count != want {
+		t.Errorf("corecover latency count = %d, want %d", h.Count, want)
+	}
+	if snap.Counters["hom_searches"] <= 0 {
+		t.Errorf("registry counters not absorbed: %v", snap.Counters)
+	}
+}
+
+func TestTraceRunWritesTraceEvents(t *testing.T) {
+	cfg := smallSweep(workload.Star, 0)
+	var buf bytes.Buffer
+	if err := TraceRun(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatalf("no complete spans in trace: %s", buf.String())
+	}
+	var sawCore bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "corecover" {
+			sawCore = true
+		}
+	}
+	if !sawCore {
+		t.Error("trace has no corecover span")
 	}
 }

@@ -33,6 +33,14 @@ func TestWallClockExemptPackages(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.WallClock, "wallclock_exempt")
 }
 
+// TestWallClockExemptObsRegistry pins the obs exemption the telemetry
+// registry relies on: histogram latencies, uptime, and span timestamps
+// all read the clock inside package obs, and the analyzer must stay
+// silent there.
+func TestWallClockExemptObsRegistry(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WallClock, "wallclock_obs")
+}
+
 func TestSortSlice(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.SortSlice, "sortslice")
 }

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP debug handler serving the
+// registry's current snapshot as indented JSON. GET it for the
+// cumulative state of the process; long-lived servers mount it at a
+// debug path (e.g. /debug/viewplan) next to pprof. A nil registry
+// serves the process-wide Process registry.
+func Handler(r *Registry) http.Handler {
+	if r == nil {
+		r = Process
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		data, err := r.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(data)
+		w.Write([]byte("\n"))
+	})
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values 0..15 get exact unit buckets; above
+// that each power of two is split into histSubCount sub-buckets, so a
+// bucket's width is at most lo/histSubCount and a midpoint estimate is
+// off by at most 1/(2*histSubCount) ≈ 6.25% relative. The layout covers
+// the full non-negative int64 range in a fixed array, so recording is a
+// handful of atomic adds with zero allocations and histograms of the
+// same layout merge by adding bucket counts.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits // sub-buckets per power of two
+	// histNumBuckets covers bits.Len64 up to 63 (int64 max).
+	histNumBuckets = (64 - histSubBits) * histSubCount
+)
+
+// histBucketOf maps a non-negative value to its bucket index.
+func histBucketOf(v int64) int {
+	u := uint64(v)
+	if u < 2*histSubCount {
+		return int(u) // exact unit buckets for 0..15
+	}
+	n := bits.Len64(u) // 2^(n-1) <= u < 2^n, n >= histSubBits+2
+	// Keep the top histSubBits+1 bits: u>>shift lies in [histSubCount, 2*histSubCount).
+	shift := uint(n - histSubBits - 1)
+	return int(n-histSubBits-1)*histSubCount + int(u>>shift)
+}
+
+// histBucketLo returns the inclusive lower bound of bucket i.
+func histBucketLo(i int) int64 {
+	if i < 2*histSubCount {
+		return int64(i)
+	}
+	block := i/histSubCount - 1 // >= 1
+	sub := i % histSubCount
+	return int64(histSubCount+sub) << uint(block)
+}
+
+// histBucketMid returns the bucket's representative value: the midpoint
+// of [lo, next lo), which bounds the relative quantile-estimation error
+// by half the bucket width (1/16 for the default layout).
+func histBucketMid(i int) int64 {
+	lo := histBucketLo(i)
+	if i+1 >= histNumBuckets {
+		return lo
+	}
+	hi := histBucketLo(i + 1)
+	return lo + (hi-lo)/2
+}
+
+// Histogram is a fixed-size, log-bucketed latency/cardinality histogram
+// safe for concurrent use. Recording is lock-free and allocation-free
+// (a bucket add, a count/sum add, and min/max CAS loops); histograms
+// merge by bucket, so per-request histograms can fold into a
+// process-lifetime Registry. The zero value is ready; a nil *Histogram
+// is a no-op. Negative observations clamp to zero.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// min stores the minimum offset by +1 so the zero value means
+	// "unset": observations are non-negative, so a plain 0 would be
+	// indistinguishable from a recorded zero.
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histNumBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value. Nil-safe, lock-free, zero-alloc.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v == math.MaxInt64 {
+		v-- // keep the +1 min encoding overflow-free
+	}
+	h.buckets[histBucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.updateMin(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// updateMin lowers the offset-encoded minimum to v if needed.
+func (h *Histogram) updateMin(v int64) {
+	for {
+		cur := h.min.Load()
+		if cur != 0 && v >= cur-1 {
+			return
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Merge adds other's observations into h (bucket-wise; min/max fold).
+// Either side may be nil. Concurrent observers on both sides are safe;
+// the merge is then only guaranteed to include observations that
+// completed before it started.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	h.MergeSnapshot(other.Snapshot())
+}
+
+// MergeSnapshot folds a frozen snapshot into h.
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	for _, b := range s.Buckets {
+		if b.Index >= 0 && b.Index < histNumBuckets {
+			h.buckets[b.Index].Add(b.Count)
+		}
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	h.updateMin(s.Min)
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot.
+type HistogramBucket struct {
+	// Index is the bucket's position in the fixed layout.
+	Index int `json:"i"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with
+// precomputed quantile estimates. Snapshots of the same layout subtract
+// (Sub) to form deltas and merge back into live histograms
+// (MergeSnapshot), so a long-lived server can report per-interval
+// percentiles from cumulative histograms.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Min and Max are exact over the observations the snapshot covers
+	// (for a Sub delta they are the cumulative values of the newer
+	// snapshot; per-interval extremes are not recoverable from buckets).
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// P50/P90/P99 are bucket-midpoint quantile estimates with relative
+	// error bounded by half a bucket width (6.25% for the default
+	// layout), clamped to [Min, Max].
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	// Buckets lists the non-empty buckets, in index order.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot freezes the histogram. Concurrent observers may land between
+// the bucket reads; totals remain exact for all completed observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{Index: i, Count: n})
+			s.Count += n
+		}
+	}
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		if m := h.min.Load(); m > 0 {
+			s.Min = m - 1
+		}
+		s.Max = h.max.Load()
+	}
+	s.finalize()
+	return s
+}
+
+// finalize recomputes the precomputed quantile fields from the buckets.
+func (s *HistogramSnapshot) finalize() {
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the buckets: the
+// midpoint of the bucket holding the ceil(q*Count)-th smallest
+// observation, clamped to [Min, Max]. Returns 0 on an empty snapshot.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			v := histBucketMid(b.Index)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Sub returns the delta s − prev: the observations recorded between the
+// two snapshots of one cumulative histogram. Min/Max stay s's
+// cumulative values; quantiles are recomputed from the bucket deltas.
+// A nil prev returns s unchanged.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if prev.Count == 0 {
+		return s
+	}
+	out := HistogramSnapshot{Min: s.Min, Max: s.Max}
+	prevAt := make(map[int]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevAt[b.Index] = b.Count
+	}
+	for _, b := range s.Buckets {
+		if d := b.Count - prevAt[b.Index]; d > 0 {
+			out.Buckets = append(out.Buckets, HistogramBucket{Index: b.Index, Count: d})
+			out.Count += d
+		}
+	}
+	out.Sum = s.Sum - prev.Sum
+	out.finalize()
+	return out
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket mapping must be monotone, cover the int64 range, and stay
+// within the fixed layout.
+func TestHistogramBucketLayout(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 7, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64 - 1} {
+		i := histBucketOf(v)
+		if i < 0 || i >= histNumBuckets {
+			t.Fatalf("bucket(%d) = %d out of range [0,%d)", v, i, histNumBuckets)
+		}
+		if i < prev {
+			t.Fatalf("bucket(%d) = %d not monotone (prev %d)", v, i, prev)
+		}
+		prev = i
+		if lo := histBucketLo(i); lo > v {
+			t.Errorf("bucket(%d) lower bound %d exceeds the value", v, lo)
+		}
+		if i+1 < histNumBuckets {
+			if hi := histBucketLo(i + 1); hi <= v {
+				t.Errorf("bucket(%d): next lower bound %d does not exceed the value", v, hi)
+			}
+		}
+	}
+	// Small values get exact unit buckets.
+	for v := int64(0); v < 2*histSubCount; v++ {
+		if histBucketOf(v) != int(v) || histBucketLo(int(v)) != v || histBucketMid(int(v)) != v {
+			t.Fatalf("small value %d not exact", v)
+		}
+	}
+}
+
+// Quantile estimates must be within the documented relative error
+// bound of the exact sample quantiles.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies spanning ~6 decades, like real plans.
+		v := int64(math.Exp(rng.Float64()*14)) + rng.Int63n(100)
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	if s.Min != vals[0] || s.Max != vals[len(vals)-1] {
+		t.Fatalf("min/max = %d/%d, want %d/%d", s.Min, s.Max, vals[0], vals[len(vals)-1])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q * float64(len(vals))))
+		exact := vals[rank-1]
+		got := s.Quantile(q)
+		relErr := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		// Half a bucket width (1/16) plus slack for the exact value
+		// sitting at a bucket edge: one full bucket width.
+		if relErr > 1.0/histSubCount {
+			t.Errorf("q=%.3f: estimate %d vs exact %d, rel err %.4f > %.4f",
+				q, got, exact, relErr, 1.0/histSubCount)
+		}
+	}
+	if s.P50 != s.Quantile(0.5) || s.P90 != s.Quantile(0.9) || s.P99 != s.Quantile(0.99) {
+		t.Error("precomputed quantiles disagree with Quantile")
+	}
+	if mean := s.Mean(); mean <= 0 {
+		t.Errorf("mean = %f", mean)
+	}
+}
+
+// Merging histograms must equal observing the union of their values.
+func TestHistogramMerge(t *testing.T) {
+	a, b, want := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		want.Observe(v)
+	}
+	a.Merge(b)
+	got, exp := a.Snapshot(), want.Snapshot()
+	if got.Count != exp.Count || got.Sum != exp.Sum || got.Min != exp.Min || got.Max != exp.Max {
+		t.Fatalf("merge totals = %+v, want %+v", got, exp)
+	}
+	if len(got.Buckets) != len(exp.Buckets) {
+		t.Fatalf("merge buckets = %d, want %d", len(got.Buckets), len(exp.Buckets))
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != exp.Buckets[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got.Buckets[i], exp.Buckets[i])
+		}
+	}
+	if got.P99 != exp.P99 {
+		t.Errorf("merged p99 %d != direct p99 %d", got.P99, exp.P99)
+	}
+}
+
+// Snapshot deltas report exactly the interval's observations.
+func TestHistogramSub(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 10, 100} {
+		h.Observe(v)
+	}
+	first := h.Snapshot()
+	for _, v := range []int64{1000, 10000} {
+		h.Observe(v)
+	}
+	delta := h.Snapshot().Sub(first)
+	if delta.Count != 2 || delta.Sum != 11000 {
+		t.Fatalf("delta = %+v, want count 2 sum 11000", delta)
+	}
+	if q := delta.Quantile(0.5); q < 900 || q > 1100 {
+		t.Errorf("delta p50 = %d, want ~1000", q)
+	}
+	// Subtracting a zero snapshot is the identity.
+	same := h.Snapshot().Sub(HistogramSnapshot{})
+	if same.Count != 5 {
+		t.Errorf("identity sub count = %d, want 5", same.Count)
+	}
+}
+
+// Concurrent observers must lose nothing (run with -race).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.Min != 0 || s.Max != workers*perWorker-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", s.Min, s.Max, workers*perWorker-1)
+	}
+}
+
+// Nil histograms and empty snapshots are inert.
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveDuration(time.Second)
+	h.Merge(NewHistogram())
+	if h.Count() != 0 {
+		t.Error("nil histogram counted")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	// Negative values clamp to zero.
+	real := NewHistogram()
+	real.Observe(-17)
+	if rs := real.Snapshot(); rs.Min != 0 || rs.Max != 0 || rs.Count != 1 {
+		t.Errorf("negative observation = %+v, want clamped to 0", rs)
+	}
+	var nilSnap *HistogramSnapshot
+	if nilSnap.Quantile(0.5) != 0 || nilSnap.Mean() != 0 {
+		t.Error("nil snapshot accessors not zero")
+	}
+}

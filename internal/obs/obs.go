@@ -254,6 +254,50 @@ type Tracer struct {
 	cur      *span
 	counters CounterSet
 	sink     *slog.Logger
+	capture  bool
+	events   []SpanEvent
+}
+
+// SpanEvent is one completed span occurrence recorded by a tracer in
+// capture mode: unlike the aggregated phase tree, each Start/End pair
+// keeps its own wall-clock interval, which is what the Chrome
+// trace-event export (WriteTraceEvents) needs to draw a timeline.
+type SpanEvent struct {
+	// Phase is the span name.
+	Phase string
+	// Start is the span's wall-clock start.
+	Start time.Time
+	// Duration is the span's elapsed time.
+	Duration time.Duration
+}
+
+// CaptureEvents switches the tracer into event-capture mode: every span
+// that ends from now on is additionally recorded as a SpanEvent (one
+// allocation amortized per span end), retrievable with Events and
+// exportable with WriteTraceEvents. Nil-safe.
+func (t *Tracer) CaptureEvents() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.capture = true
+	t.mu.Unlock()
+}
+
+// Events copies out the captured span events (nil unless CaptureEvents
+// was called), ordered by span end time.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return nil
+	}
+	out := make([]SpanEvent, len(t.events))
+	copy(out, t.events)
+	return out
 }
 
 // New returns an empty tracer.
@@ -309,6 +353,9 @@ func (s Span) End() {
 	s.node.count++
 	s.node.total += elapsed
 	s.t.cur = s.node.parent
+	if s.t.capture {
+		s.t.events = append(s.t.events, SpanEvent{Phase: s.node.name, Start: s.start, Duration: elapsed})
+	}
 	s.t.mu.Unlock()
 	if s.t.sink != nil {
 		s.t.sink.LogAttrs(context.Background(), slog.LevelDebug, "phase",
@@ -367,14 +414,25 @@ type PhaseStats struct {
 	Phase string `json:"phase"`
 	// Count is how many times the span was started and ended.
 	Count int64 `json:"count"`
-	// Nanos is the accumulated wall time in nanoseconds.
+	// Nanos is the accumulated wall time in nanoseconds, children
+	// included (total time).
 	Nanos int64 `json:"nanos"`
+	// SelfNanos is Nanos minus the time accumulated in child spans:
+	// the time spent in this phase itself. When a phase recurses (the
+	// parallel fanout re-entering cover-search, say), summing Nanos
+	// across same-named nodes double-counts the nested invocations;
+	// SelfNanos sums to the true wall time, so flattened by-name
+	// aggregations (experiments points, the Registry) must use it.
+	SelfNanos int64 `json:"self_nanos"`
 	// Children are nested phases in first-start order.
 	Children []PhaseStats `json:"children,omitempty"`
 }
 
-// Duration returns the accumulated wall time.
+// Duration returns the accumulated wall time, children included.
 func (p PhaseStats) Duration() time.Duration { return time.Duration(p.Nanos) }
+
+// SelfDuration returns the time spent in the phase itself.
+func (p PhaseStats) SelfDuration() time.Duration { return time.Duration(p.SelfNanos) }
 
 // Snapshot is a point-in-time copy of a tracer's phase tree and
 // counters. It serializes to JSON losslessly (round-trips) and renders
@@ -415,11 +473,22 @@ func copyPhases(nodes []*span) []PhaseStats {
 	}
 	out := make([]PhaseStats, len(nodes))
 	for i, n := range nodes {
+		var childTotal time.Duration
+		for _, c := range n.children {
+			childTotal += c.total
+		}
+		self := n.total - childTotal
+		if self < 0 {
+			// An open parent observed with completed children: the
+			// parent's completed total lags its children's.
+			self = 0
+		}
 		out[i] = PhaseStats{
-			Phase:    n.name,
-			Count:    n.count,
-			Nanos:    int64(n.total),
-			Children: copyPhases(n.children),
+			Phase:     n.name,
+			Count:     n.count,
+			Nanos:     int64(n.total),
+			SelfNanos: int64(self),
+			Children:  copyPhases(n.children),
 		}
 	}
 	return out

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -254,5 +256,92 @@ func TestCounterNames(t *testing.T) {
 	}
 	if got := Counter(-3).String(); got != "counter(-3)" {
 		t.Errorf("out-of-range name = %q", got)
+	}
+}
+
+// Self time must exclude child time, so flattened by-name sums don't
+// double-count recursing phases (the parallel fanout re-entering
+// cover-search).
+func TestSelfTimeSeparatesRecursion(t *testing.T) {
+	tr := New()
+	outer := tr.Start(PhaseCoverSearch)
+	inner := tr.Start(PhaseCoverSearch) // recursion under the same name
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+
+	snap := tr.Snapshot()
+	root := snap.Phases[0]
+	if root.Phase != PhaseCoverSearch || len(root.Children) != 1 {
+		t.Fatalf("tree = %+v", snap.Phases)
+	}
+	child := root.Children[0]
+	if child.Phase != PhaseCoverSearch {
+		t.Fatalf("child = %+v", child)
+	}
+	// Total by name double-counts; self by name does not.
+	totalByName := root.Nanos + child.Nanos
+	selfByName := root.SelfNanos + child.SelfNanos
+	if totalByName <= root.Nanos {
+		t.Errorf("expected the naive by-name total %d to exceed wall %d", totalByName, root.Nanos)
+	}
+	if selfByName != root.Nanos {
+		t.Errorf("self times sum to %d, want the wall time %d", selfByName, root.Nanos)
+	}
+	if child.SelfNanos != child.Nanos {
+		t.Errorf("leaf self %d != leaf total %d", child.SelfNanos, child.Nanos)
+	}
+	if root.SelfNanos >= root.Nanos {
+		t.Errorf("parent self %d not below its total %d", root.SelfNanos, root.Nanos)
+	}
+	if root.SelfDuration()+child.SelfDuration() != root.Duration() {
+		t.Error("SelfDuration accessors disagree")
+	}
+}
+
+// Self times telescope: over any snapshot, the self times of a subtree
+// sum exactly to the root's total.
+func TestSelfTimeTelescopes(t *testing.T) {
+	tr := New()
+	run := tr.Start(PhaseCoreCover)
+	for i := 0; i < 3; i++ {
+		a := tr.Start(PhaseViewTuples)
+		b := tr.Start(PhaseTupleCores)
+		b.End()
+		a.End()
+	}
+	run.End()
+	snap := tr.Snapshot()
+	var sumSelf func(ps []PhaseStats) int64
+	sumSelf = func(ps []PhaseStats) int64 {
+		var s int64
+		for _, p := range ps {
+			s += p.SelfNanos + sumSelf(p.Children)
+		}
+		return s
+	}
+	root := snap.Phases[0]
+	if got := root.SelfNanos + sumSelf(root.Children); got != root.Nanos {
+		t.Errorf("self times sum to %d, want root total %d", got, root.Nanos)
+	}
+}
+
+// Every counter must have a name string and a row in DESIGN.md's
+// counter table: adding a Counter without documenting it fails here.
+func TestCounterNamesComplete(t *testing.T) {
+	design, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	for c := Counter(0); c < NumCounters; c++ {
+		name := counterNames[c]
+		if name == "" {
+			t.Errorf("counter %d has no entry in counterNames", int(c))
+			continue
+		}
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("counter %q has no row in DESIGN.md's counter table; document what it measures", name)
+		}
 	}
 }

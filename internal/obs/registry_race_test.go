@@ -1,0 +1,123 @@
+// Concurrency contract of the Registry, exercised through the real
+// planner under -race: many goroutines planning through one shared
+// Registry must lose nothing — the merged counters are exactly the sum
+// of the per-request snapshots.
+package obs_test
+
+import (
+	"sync"
+	"testing"
+
+	"viewplan"
+	"viewplan/internal/obs"
+	"viewplan/internal/workload"
+)
+
+func TestRegistryConcurrentPlanQuery(t *testing.T) {
+	// Deterministically pick the first seeded star instance that has a
+	// rewriting (the generator, like the paper's, can produce queries
+	// without one; the driver skips those).
+	var inst *workload.Instance
+	for seed := int64(0); seed < 10; seed++ {
+		cand, err := workload.Generate(workload.Config{Shape: workload.Star, QuerySubgoals: 6, NumViews: 120, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := viewplan.HasRewriting(cand.Query, cand.Views); err == nil && ok {
+			inst = cand
+			break
+		}
+	}
+	if inst == nil {
+		t.Fatal("no star instance with a rewriting in seeds 0..9")
+	}
+
+	const (
+		workers = 8
+		perWork = 4
+	)
+	reg := viewplan.NewRegistry()
+
+	var (
+		mu    sync.Mutex
+		stats []*viewplan.PlanningStats
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWork; i++ {
+				res, err := viewplan.PlanQuery(nil, inst.Query, inst.Views,
+					viewplan.PlanRequest{Model: viewplan.M1, Registry: reg})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res == nil || res.Stats == nil {
+					t.Error("expected a rewriting with stats for the star instance")
+					return
+				}
+				mu.Lock()
+				stats = append(stats, res.Stats)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	const total = workers * perWork
+	if got := reg.Requests(); got != total {
+		t.Fatalf("Requests = %d, want %d", got, total)
+	}
+
+	// Sum every per-request counter and demand exact equality with the
+	// registry's merge: concurrency must not drop or double-count.
+	want := map[string]int64{}
+	for _, s := range stats {
+		for name, v := range s.Counters {
+			want[name] += v
+		}
+	}
+	snap := reg.Snapshot()
+	for name, v := range want {
+		if v == 0 {
+			continue
+		}
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("counter %s: registry has %d, per-request sum is %d", name, got, v)
+		}
+	}
+	for name, v := range snap.Counters {
+		if want[name] != v {
+			t.Errorf("counter %s: registry has %d, per-request sum is %d", name, v, want[name])
+		}
+	}
+
+	// Latency and cardinality histograms saw every request.
+	for _, name := range []string{obs.HistPlanLatency, obs.HistRewritingsConsidered} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("missing histogram %s", name)
+		}
+		if h.Count != total {
+			t.Errorf("histogram %s count = %d, want %d", name, h.Count, total)
+		}
+	}
+
+	// Phase self-times must telescope per request; the registry's merged
+	// self-times therefore sum to the merged total observed time.
+	var selfSum, totalSum int64
+	for _, p := range snap.Phases {
+		selfSum += p.SelfNanos
+	}
+	for _, s := range stats {
+		totalSum += int64(s.Total())
+	}
+	if selfSum != totalSum {
+		t.Errorf("sum of phase self-times = %d, sum of request totals = %d", selfSum, totalSum)
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sampleSnapshot builds a snapshot with nested and recursing phases.
+func sampleSnapshot() *Snapshot {
+	tr := New()
+	run := tr.Start(PhaseCoreCover)
+	outer := tr.Start(PhaseCoverSearch)
+	inner := tr.Start(PhaseCoverSearch) // recursion: same phase re-entered
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+	run.End()
+	tr.Add(CtrCoverNodes, 10)
+	tr.Add(CtrRewritings, 1)
+	return tr.Snapshot()
+}
+
+// Absorb flattens phases by name, keeping self and total time apart,
+// and adds counters.
+func TestRegistryAbsorb(t *testing.T) {
+	r := NewRegistry()
+	s := sampleSnapshot()
+	r.Absorb(s)
+	r.Absorb(s)
+	snap := r.Snapshot()
+	if got := snap.Counters["cover_nodes"]; got != 20 {
+		t.Errorf("cover_nodes = %d, want 20", got)
+	}
+	cs := snap.Phases[PhaseCoverSearch]
+	if cs.Count != 4 { // two nodes per snapshot, absorbed twice
+		t.Errorf("cover-search count = %d, want 4", cs.Count)
+	}
+	// The recursing phase's by-name total double-counts the nested
+	// invocation; the self time does not, and cannot exceed the root's
+	// total.
+	root := snap.Phases[PhaseCoreCover]
+	if cs.TotalNanos <= root.TotalNanos {
+		t.Errorf("expected recursion to inflate total: cover-search %d <= root %d",
+			cs.TotalNanos, root.TotalNanos)
+	}
+	if sum := cs.SelfNanos + root.SelfNanos; sum > root.TotalNanos {
+		t.Errorf("self times %d exceed root total %d", sum, root.TotalNanos)
+	}
+}
+
+// RecordPlan counts requests and feeds the latency and cardinality
+// histograms.
+func TestRegistryRecordPlan(t *testing.T) {
+	r := NewRegistry()
+	r.RecordPlan(sampleSnapshot(), 3)
+	r.RecordPlan(nil, 0) // untraced request still counts
+	if r.Requests() != 2 {
+		t.Errorf("requests = %d, want 2", r.Requests())
+	}
+	snap := r.Snapshot()
+	lat := snap.Histograms[HistPlanLatency]
+	if lat.Count != 1 || lat.Max < int64(time.Millisecond) {
+		t.Errorf("latency histogram = %+v, want one >=1ms observation", lat)
+	}
+	if card := snap.Histograms[HistRewritingsConsidered]; card.Count != 1 || card.Max != 3 {
+		t.Errorf("cardinality histogram = %+v", card)
+	}
+}
+
+// Deltas subtract every dimension and recompute histogram quantiles.
+func TestRegistrySnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Add(CtrHomSearches, 5)
+	r.Histogram("x").Observe(100)
+	first := r.Snapshot()
+	r.Add(CtrHomSearches, 7)
+	r.Histogram("x").Observe(1000)
+	r.RecordPlan(sampleSnapshot(), 1)
+	d := r.Snapshot().Delta(first)
+	if d.Requests != 1 {
+		t.Errorf("delta requests = %d, want 1", d.Requests)
+	}
+	if got := d.Counters["hom_searches"]; got != 7 {
+		t.Errorf("delta hom_searches = %d, want 7", got)
+	}
+	x := d.Histograms["x"]
+	if x.Count != 1 || x.Sum != 1000 {
+		t.Errorf("delta histogram = %+v, want the interval's single observation", x)
+	}
+	if q := x.Quantile(0.5); q < 900 || q > 1100 {
+		t.Errorf("delta p50 = %d, want ~1000", q)
+	}
+	// Delta against nil is the snapshot itself.
+	if s := r.Snapshot(); s.Delta(nil) != s {
+		t.Error("nil-prev delta should be identity")
+	}
+}
+
+// Concurrent absorption, histogram traffic, and snapshots must be
+// race-clean and lose nothing (run with -race).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := New()
+			sp := tr.Start(PhaseVerify)
+			tr.Add(CtrVerifyChecks, perWorker)
+			sp.End()
+			snap := tr.Snapshot()
+			for i := 0; i < perWorker; i++ {
+				r.Absorb(snap)
+				r.RecordLatency(HistPlanLatency, time.Duration(i)*time.Microsecond)
+			}
+		}()
+	}
+	var stop sync.WaitGroup
+	stop.Add(1)
+	done := make(chan struct{})
+	go func() { // concurrent reader
+		defer stop.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	stop.Wait()
+	snap := r.Snapshot()
+	want := int64(workers * perWorker * perWorker)
+	if got := snap.Counters["verify_checks"]; got != want {
+		t.Errorf("verify_checks = %d, want %d", got, want)
+	}
+	if got := snap.Histograms[HistPlanLatency].Count; got != workers*perWorker {
+		t.Errorf("latency observations = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Phases[PhaseVerify].Count; got != workers*perWorker {
+		t.Errorf("verify spans = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// A nil registry ignores everything.
+func TestRegistryNil(t *testing.T) {
+	var r *Registry
+	r.Absorb(sampleSnapshot())
+	r.Add(CtrViewTuples, 3)
+	r.RecordPlan(sampleSnapshot(), 1)
+	r.RecordLatency("x", time.Second)
+	r.Histogram("x").Observe(1)
+	if r.Requests() != 0 || r.Counters() != (CounterValues{}) {
+		t.Error("nil registry recorded something")
+	}
+	snap := r.Snapshot()
+	if snap == nil || snap.Requests != 0 || len(snap.Counters) != 0 {
+		t.Errorf("nil registry snapshot = %+v", snap)
+	}
+	var ns *RegistrySnapshot
+	if ns.Delta(nil) != nil {
+		t.Error("nil snapshot delta not nil")
+	}
+}
+
+// The registry snapshot JSON round-trips and the debug handler serves
+// it.
+func TestRegistryJSONAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.RecordPlan(sampleSnapshot(), 2)
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RegistrySnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != 1 || back.Histograms[HistPlanLatency].Count != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var served RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if served.Requests != 1 {
+		t.Errorf("served requests = %d, want 1", served.Requests)
+	}
+
+	// Handler(nil) serves the process registry.
+	before := Process.Requests()
+	Process.RecordPlan(nil, 0)
+	srv2 := httptest.NewServer(Handler(nil))
+	defer srv2.Close()
+	resp2, err := srv2.Client().Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var proc RegistrySnapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&proc); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Requests < before+1 {
+		t.Errorf("process registry requests = %d, want >= %d", proc.Requests, before+1)
+	}
+}

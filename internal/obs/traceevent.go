@@ -1,0 +1,104 @@
+// Chrome trace-event export: captured span events serialize to the
+// trace-event JSON format that Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing load, so any planning run can be inspected as a
+// visual timeline. Stdlib-only.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// traceEvent is one entry of the trace-event JSON format. Complete
+// ("X") events carry a duration; metadata ("M") events name processes
+// and threads. Timestamps are microseconds (fractional microseconds
+// keep nanosecond precision).
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	// Dur has no omitempty: the spec requires complete ("X") events to
+	// carry a duration even when a span rounds to zero microseconds.
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object Format of the trace-event spec (an
+// {"traceEvents": [...]} wrapper, which Perfetto prefers over the bare
+// array because it survives truncation detection).
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents writes the captured span events of one or more
+// tracers as trace-event JSON loadable in Perfetto. Each tracer's
+// spans form one thread (tid 1, 2, ...) of a single "viewplan"
+// process; nesting is reconstructed from wall-clock containment, which
+// holds because each tracer's spans are LIFO on one goroutine.
+// Timestamps are relative to the earliest captured span. Tracers
+// without captured events (CaptureEvents not called) contribute
+// nothing; writing zero events is an error, as the empty file would be
+// indistinguishable from instrumentation that silently captured
+// nothing.
+func WriteTraceEvents(w io.Writer, tracers ...*Tracer) error {
+	type thread struct {
+		events []SpanEvent
+	}
+	var threads []thread
+	var epoch time.Time
+	total := 0
+	for _, t := range tracers {
+		evs := t.Events()
+		if len(evs) == 0 {
+			continue
+		}
+		for _, e := range evs {
+			if epoch.IsZero() || e.Start.Before(epoch) {
+				epoch = e.Start
+			}
+		}
+		total += len(evs)
+		threads = append(threads, thread{events: evs})
+	}
+	if total == 0 {
+		return fmt.Errorf("obs: no captured span events to export (call Tracer.CaptureEvents before the run)")
+	}
+
+	out := traceFile{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     make([]traceEvent, 0, total+1+len(threads)),
+	}
+	out.TraceEvents = append(out.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "viewplan"},
+	})
+	for i, th := range threads {
+		tid := i + 1
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("run %d", tid)},
+		})
+		for _, e := range th.events {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: e.Phase,
+				Cat:  "phase",
+				Ph:   "X",
+				Ts:   micros(e.Start.Sub(epoch)),
+				Dur:  micros(e.Duration),
+				Pid:  1,
+				Tid:  tid,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// micros converts a duration to (fractional) microseconds.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

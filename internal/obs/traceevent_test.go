@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeTrace unmarshals trace-event JSON into a generic shape.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("trace has no traceEvents array")
+	}
+	return doc.TraceEvents
+}
+
+// Captured spans export as well-formed Chrome trace events with
+// nesting preserved by wall-clock containment.
+func TestWriteTraceEvents(t *testing.T) {
+	tr := New()
+	tr.CaptureEvents()
+	run := tr.Start(PhaseCoreCover)
+	min := tr.Start(PhaseMinimize)
+	time.Sleep(time.Millisecond)
+	min.End()
+	cs := tr.Start(PhaseCoverSearch)
+	cs.End()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	var complete []map[string]any
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			if e["name"] != "process_name" && e["name"] != "thread_name" {
+				t.Errorf("unexpected metadata event %v", e)
+			}
+		case "X":
+			complete = append(complete, e)
+			for _, k := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := e[k]; !ok {
+					t.Errorf("X event missing %q: %v", k, e)
+				}
+			}
+			if ts := e["ts"].(float64); ts < 0 {
+				t.Errorf("negative ts %v", ts)
+			}
+		default:
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
+	}
+	if len(complete) != 3 {
+		t.Fatalf("complete events = %d, want 3", len(complete))
+	}
+	// Events are appended at span end: minimize, cover-search, corecover.
+	byName := map[string]map[string]any{}
+	for _, e := range complete {
+		byName[e["name"].(string)] = e
+	}
+	outer, inner := byName[PhaseCoreCover], byName[PhaseMinimize]
+	if outer == nil || inner == nil {
+		t.Fatalf("missing phases: %v", byName)
+	}
+	// The nested span's interval must sit inside the root's, which is
+	// how Perfetto reconstructs the hierarchy.
+	oTs, oDur := outer["ts"].(float64), outer["dur"].(float64)
+	iTs, iDur := inner["ts"].(float64), inner["dur"].(float64)
+	if iTs < oTs || iTs+iDur > oTs+oDur+0.001 {
+		t.Errorf("minimize [%f,%f] not inside corecover [%f,%f]", iTs, iTs+iDur, oTs, oTs+oDur)
+	}
+	if iDur < 900 { // slept 1ms = 1000us
+		t.Errorf("minimize dur = %fus, want >= ~1000", iDur)
+	}
+}
+
+// Multiple tracers get distinct thread ids in one process.
+func TestWriteTraceEventsMultipleTracers(t *testing.T) {
+	var tracers []*Tracer
+	for i := 0; i < 3; i++ {
+		tr := New()
+		tr.CaptureEvents()
+		sp := tr.Start(PhaseVerify)
+		sp.End()
+		tracers = append(tracers, tr)
+	}
+	// An uncaptured tracer contributes nothing but is not an error.
+	plain := New()
+	sp := plain.Start(PhaseVerify)
+	sp.End()
+	tracers = append(tracers, plain)
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, tracers...); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[float64]bool{}
+	for _, e := range decodeTrace(t, buf.Bytes()) {
+		if e["ph"] == "X" {
+			tids[e["tid"].(float64)] = true
+		}
+	}
+	if len(tids) != 3 {
+		t.Errorf("distinct tids = %d, want 3", len(tids))
+	}
+}
+
+// Exporting with nothing captured is an explicit error, not an empty
+// file.
+func TestWriteTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTraceEvents(&buf, New(), nil)
+	if err == nil || !strings.Contains(err.Error(), "no captured span events") {
+		t.Fatalf("err = %v, want no-events error", err)
+	}
+}
+
+// A tracer without capture mode records no events and allocates none.
+func TestCaptureOffByDefault(t *testing.T) {
+	tr := New()
+	sp := tr.Start(PhaseMinimize)
+	sp.End()
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("events captured without CaptureEvents: %v", evs)
+	}
+	var nilTr *Tracer
+	nilTr.CaptureEvents()
+	if nilTr.Events() != nil {
+		t.Error("nil tracer captured events")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"viewplan/internal/corecover"
 	"viewplan/internal/cost"
 	"viewplan/internal/engine"
+	"viewplan/internal/obs"
 )
 
 // PlanRequest configures the one-shot planner: which cost model to
@@ -33,6 +34,15 @@ type PlanRequest struct {
 	// concurrent PlanQuery calls on one db should share a tracer or
 	// leave it nil.
 	Tracer *Tracer
+	// Registry, when non-nil, accumulates this call into
+	// process-lifetime telemetry: the request count, the run's counters
+	// and phase times, the end-to-end latency histogram
+	// (plan_latency_ns), and the candidate-rewriting cardinality
+	// histogram. One Registry is safe to share across concurrent
+	// PlanQuery calls and goroutines. When no Tracer is supplied, the
+	// call gets a private one so the registry still sees the run (and
+	// PlanResult.Stats carries its snapshot).
+	Registry *Registry
 }
 
 // PlanResult is the planner's answer: the chosen rewriting with its
@@ -67,6 +77,9 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 	if req.Model == 0 {
 		req.Model = M2
 	}
+	if req.Registry != nil && req.Tracer == nil {
+		req.Tracer = obs.New()
+	}
 	opts := corecover.Options{MaxRewritings: req.MaxRewritings, Parallelism: req.Parallelism, Tracer: req.Tracer}
 	if req.Tracer != nil && db != nil {
 		prev := db.Tracer()
@@ -79,6 +92,12 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 		}
 		return req.Tracer.Snapshot()
 	}
+	// record folds the finished request into the registry (latency,
+	// counters, phase times, rewritings considered); requests without a
+	// rewriting still count.
+	record := func(stats *PlanningStats, considered int) {
+		req.Registry.RecordPlan(stats, int64(considered))
+	}
 
 	if req.Model == M1 {
 		res, err := corecover.CoreCover(q, vs, opts)
@@ -86,14 +105,17 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 			return nil, err
 		}
 		if len(res.Rewritings) == 0 {
+			record(snapshot(), 0)
 			return nil, nil
 		}
 		p := res.Rewritings[0]
+		stats := snapshot()
+		record(stats, len(res.Rewritings))
 		return &PlanResult{
 			Rewriting:  p,
 			Cost:       cost.M1Cost(p),
 			Considered: len(res.Rewritings),
-			Stats:      snapshot(),
+			Stats:      stats,
 		}, nil
 	}
 
@@ -114,6 +136,7 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 		return nil, err
 	}
 	if len(res.Rewritings) == 0 {
+		record(snapshot(), 0)
 		return nil, nil
 	}
 
@@ -161,5 +184,6 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 		}
 	}
 	best.Stats = snapshot()
+	record(best.Stats, best.Considered)
 	return best, nil
 }

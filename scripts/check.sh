@@ -3,10 +3,12 @@
 # (the repo's own analyzer suite: determinism, tracer-threading, and
 # intern-safety invariants; see internal/lint), then run the
 # observability, planner-core, and view-tuple tests with the race
-# detector (the obs counters, the hom cache, and the parallel fanout
-# are the only shared mutable state on the hot path, so these are the
-# packages where a data race would hide), and finish with a short fuzz
-# smoke of the cq parser.
+# detector (the obs counters, the shared Registry with its atomic
+# histograms — including the end-to-end TestRegistryConcurrentPlanQuery
+# merge test — the hom cache, and the parallel fanout are the only
+# shared mutable state on the hot path, so these are the packages where
+# a data race would hide), and finish with a short fuzz smoke of the cq
+# parser.
 #
 # The lint binary is built once into bin/ (go's build cache makes the
 # rebuild a no-op when nothing changed), keeping the whole gate fast.

@@ -60,7 +60,9 @@
 package viewplan
 
 import (
+	"io"
 	"log/slog"
+	"net/http"
 
 	"viewplan/internal/containment"
 	"viewplan/internal/corecover"
@@ -126,6 +128,19 @@ type (
 	PlanningStats = obs.Snapshot
 	// PhaseStats is one node of a PlanningStats phase tree.
 	PhaseStats = obs.PhaseStats
+	// Registry accumulates process-lifetime telemetry — request counts,
+	// counters, flattened phase times, and latency/cardinality
+	// histograms — across many planning runs (PlanRequest.Registry).
+	// Safe for concurrent use; nil is the no-op default.
+	Registry = obs.Registry
+	// RegistrySnapshot is a point-in-time copy of a Registry, with
+	// Delta for interval reporting and JSON rendering.
+	RegistrySnapshot = obs.RegistrySnapshot
+	// Histogram is a lock-free log-bucketed latency/cardinality
+	// histogram (Registry.Histogram).
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a Histogram copy with p50/p90/p99 estimates.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // Cost models and drop strategies.
@@ -166,6 +181,28 @@ func NewIRCache() *IRCache { return engine.NewIRCache() }
 // slog trace events (debug level): one per completed phase span and one
 // per engine join step.
 func NewTracerWithLog(l *slog.Logger) *Tracer { return obs.NewWithSink(l) }
+
+// NewRegistry returns an empty telemetry registry. Share one across
+// PlanQuery calls (PlanRequest.Registry) to aggregate counters, phase
+// times, and latency histograms over the process lifetime; read it with
+// Registry.Snapshot or serve it over HTTP with MetricsHandler.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ProcessRegistry returns the package-global registry that the deepest
+// layers (the containment kernel's per-search backtrack histogram, the
+// join engine's per-step cardinality histogram) always feed, alongside
+// anything recorded into it explicitly.
+func ProcessRegistry() *Registry { return obs.Process }
+
+// MetricsHandler serves a JSON snapshot of the registry (expvar-style)
+// for mounting on a debug mux; nil serves the process registry.
+func MetricsHandler(r *Registry) http.Handler { return obs.Handler(r) }
+
+// WriteTrace writes the captured phase spans of one or more tracers as
+// a Chrome trace-event JSON file, loadable at ui.perfetto.dev or
+// chrome://tracing. Call Tracer.CaptureEvents before planning so the
+// tracer retains its spans; each tracer becomes one named thread.
+func WriteTrace(w io.Writer, tracers ...*Tracer) error { return obs.WriteTraceEvents(w, tracers...) }
 
 // FindGMRs runs CoreCover (Section 4): it returns all globally-minimal
 // rewritings of q using the views — the optimal rewritings under cost
