@@ -3,13 +3,16 @@
 # runs just the repo's analyzer suite; `make test` is the full suite;
 # `make bench` runs the engine allocation gate (Fig. 6a M2 planning,
 # allocs/op diffed against scripts/bench_engine_baseline.txt, >10%
-# regression fails); `make benchall` runs every benchmark; `make trace`
-# exports a sample Perfetto trace of a Fig. 6a run and validates the
-# trace-event JSON with tracecheck.
+# regression fails); `make benchall` runs every benchmark; `make
+# serve-bench` gates the resident service: the warm-request allocation
+# gate (scripts/bench_service.sh) plus the QPS harness, which writes
+# BENCH_service.json and fails unless warm p50/p99 beat the cold p50 by
+# 5x; `make trace` exports a sample Perfetto trace of a Fig. 6a run and
+# validates the trace-event JSON with tracecheck.
 
 GO ?= go
 
-.PHONY: build test check lint bench benchall vet trace
+.PHONY: build test check lint bench benchall serve-bench vet trace
 
 build:
 	$(GO) build ./...
@@ -32,6 +35,10 @@ bench:
 
 benchall:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+serve-bench:
+	./scripts/bench_service.sh
+	$(GO) run ./cmd/servebench
 
 # A small Fig. 6a sweep with span capture on: writes bin/trace_fig6a.json
 # and verifies it is well-formed trace-event JSON (then open the file at

@@ -423,6 +423,42 @@ func BenchmarkFig6aStarPlanning(b *testing.B) {
 	}
 }
 
+// The warm-path cost of the resident service: the Fig. 6a planning
+// workload answered through a compiled ViewCatalog and an already-primed
+// PlanCache, so every iteration is one cache hit — parse-free canonical
+// labeling plus a rebased private copy of the memoized Result.
+// scripts/bench_service.sh gates allocs/op here against
+// scripts/bench_service_baseline.txt, keeping the hit path from quietly
+// growing back toward cold-path cost.
+func BenchmarkWarmPlanRequest(b *testing.B) {
+	inst := benchInstance(b, workload.Config{
+		Shape:         workload.Star,
+		QuerySubgoals: 8,
+		NumViews:      200,
+		Seed:          42,
+	})
+	cat, err := viewplan.CompileViews(inst.Views, viewplan.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := viewplan.NewPlanCache(16)
+	opts := viewplan.Options{Parallelism: 1, Catalog: cat, Cache: cache}
+	if _, err := viewplan.FindGMRsWith(inst.Query, nil, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := viewplan.FindGMRsWith(inst.Query, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rewritings) == 0 {
+			b.Fatal("no rewriting")
+		}
+	}
+}
+
 // The M3 order search on the same workload (renaming heuristic). Kept at
 // 100 views and a small candidate cap: M3 is factorial in the rewriting
 // body size.

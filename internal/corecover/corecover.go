@@ -42,6 +42,19 @@ type Options struct {
 	// the coordinator reassembles in deterministic order (see DESIGN.md,
 	// "Parallel search determinism").
 	Parallelism int
+	// Catalog, when non-nil, supplies the resident compiled view world:
+	// the run plans against the catalog's views (the vs argument of
+	// CoreCover/CoreCoverStar is ignored), reusing its precompiled
+	// equivalence classes and representative subset instead of regrouping
+	// per request. The Result is byte-identical to a cold run over the
+	// same definitions: the catalog only holds artifacts the cold path
+	// computes deterministically anyway.
+	Catalog *Catalog
+	// Cache, when non-nil alongside Catalog, memoizes completed Results
+	// under the query's exact canonical key and the catalog generation
+	// (see PlanCache). Without a Catalog the cache is ignored: a cache
+	// key must pin the view set, and only a catalog generation does.
+	Cache *PlanCache
 }
 
 // parallelism resolves the effective worker-pool bound.
@@ -131,19 +144,7 @@ func (r *Result) FilterClasses() []TupleClass {
 // It returns a Result whose Rewritings field holds one rewriting per
 // minimum cover (empty if q has no equivalent rewriting over the views).
 func CoreCover(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
-	finish := beginRun(opts.Tracer)
-	r, cs, err := prepare(q, vs, opts)
-	if err != nil {
-		finish(nil)
-		return nil, err
-	}
-	ver := r.newVerifier(vs, opts)
-	covers := cs.MinimumCovers(opts.MaxRewritings, ver.coverFilter(opts.Tracer, opts.MaxRewritings))
-	sp := opts.Tracer.Start(obs.PhaseAssemble)
-	r.collect(covers, ver, opts.Tracer)
-	sp.End()
-	finish(r)
-	return r, nil
+	return run(q, vs, opts, false)
 }
 
 // CoreCoverStar finds all minimal rewritings of q that use view tuples:
@@ -152,6 +153,52 @@ func CoreCover(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
 // from Result.FilterClasses). Every irredundant cover of the query
 // subgoals by tuple-cores yields one rewriting.
 func CoreCoverStar(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
+	return run(q, vs, opts, true)
+}
+
+// run is the shared entry point of both algorithms: resolve the view
+// world (catalog or the vs argument), probe the plan cache, and fall
+// through to a cold run, memoizing its Result on the way out.
+func run(q *cq.Query, vs *views.Set, opts Options, star bool) (*Result, error) {
+	if opts.Catalog != nil {
+		vs = opts.Catalog.Views()
+	}
+	tr := opts.Tracer
+	if opts.Cache == nil || opts.Catalog == nil {
+		return runCold(q, vs, opts, star)
+	}
+	canon, qVars, exact := cq.CanonicalLabeling(q)
+	if !exact || usesReservedVars(q) {
+		tr.Add(obs.CtrPlanCacheBypass, 1)
+		return runCold(q, vs, opts, star)
+	}
+	key := planKey{star: star, gen: opts.Catalog.Generation(), fp: fingerprintOf(opts), canon: canon}
+	if ent := opts.Cache.lookup(key); ent != nil {
+		// Validation is skipped on hits: the cached query passed it, and
+		// validity is invariant under the renaming the key attests to.
+		finish := beginRun(tr)
+		tr.Add(obs.CtrPlanCacheHit, 1)
+		r := ent.instantiate(qVars)
+		// The arrival verbatim, not the cached spelling: the key is also
+		// invariant under body reordering, so the rebased clone's body
+		// order may be the cached query's. Core subgoal indexes refer to
+		// MinimalQuery, which stays internally consistent.
+		r.Query = q.Clone()
+		finish(r)
+		return r, nil
+	}
+	tr.Add(obs.CtrPlanCacheMiss, 1)
+	r, err := runCold(q, vs, opts, star)
+	if err != nil {
+		return nil, err
+	}
+	opts.Cache.insert(key, cloneEntry(r, qVars), tr)
+	return r, nil
+}
+
+// runCold executes the full pipeline, catalog-accelerated when one is
+// attached but never consulting the plan cache.
+func runCold(q *cq.Query, vs *views.Set, opts Options, star bool) (*Result, error) {
 	finish := beginRun(opts.Tracer)
 	r, cs, err := prepare(q, vs, opts)
 	if err != nil {
@@ -159,7 +206,12 @@ func CoreCoverStar(q *cq.Query, vs *views.Set, opts Options) (*Result, error) {
 		return nil, err
 	}
 	ver := r.newVerifier(vs, opts)
-	covers := cs.IrredundantCovers(opts.MaxRewritings, ver.accept(opts.Tracer))
+	var covers [][]int
+	if star {
+		covers = cs.IrredundantCovers(opts.MaxRewritings, ver.accept(opts.Tracer))
+	} else {
+		covers = cs.MinimumCovers(opts.MaxRewritings, ver.coverFilter(opts.Tracer, opts.MaxRewritings))
+	}
 	sp := opts.Tracer.Start(obs.PhaseAssemble)
 	r.collect(covers, ver, opts.Tracer)
 	sp.End()
@@ -197,9 +249,13 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 	if q.HasComparisons() {
 		return nil, nil, fmt.Errorf("corecover: query %s uses built-in predicates; CoreCover handles pure conjunctive queries (see package ucq for the Section 8 extension)", q.Name())
 	}
-	for _, v := range vs.Views {
-		if v.Def.HasComparisons() {
-			return nil, nil, fmt.Errorf("corecover: view %s uses built-in predicates; CoreCover handles pure conjunctive views (see package ucq for the Section 8 extension)", v.Name())
+	if opts.Catalog == nil {
+		// A catalog's views were validated once at CompileViews; the
+		// per-request scan is only for ad-hoc view sets.
+		for _, v := range vs.Views {
+			if v.Def.HasComparisons() {
+				return nil, nil, fmt.Errorf("corecover: view %s uses built-in predicates; CoreCover handles pure conjunctive views (see package ucq for the Section 8 extension)", v.Name())
+			}
 		}
 	}
 	tr := opts.Tracer
@@ -218,6 +274,19 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 		for i, v := range vs.Views {
 			classes[i] = []*views.View{v}
 		}
+	} else if cat := opts.Catalog; cat != nil {
+		// The resident catalog already grouped its views with the same
+		// ClassesFromKeys pipeline, so class order and representative
+		// choice are byte-identical to the cold computation. Copy the
+		// class slices defensively — the Result is caller-owned — while
+		// sharing the immutable View objects and the work subset.
+		sp = tr.Start(obs.PhaseViewGrouping)
+		classes = make([][]*views.View, len(cat.classes))
+		for i, cl := range cat.classes {
+			classes[i] = append([]*views.View(nil), cl...)
+		}
+		work = cat.work
+		sp.End()
 	} else {
 		sp = tr.Start(obs.PhaseViewGrouping)
 		classes = vs.EquivalenceClasses()

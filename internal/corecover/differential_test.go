@@ -55,11 +55,13 @@ func diffCorpus(t *testing.T) []*workload.Instance {
 }
 
 // requireResultsEqual compares every semantically meaningful field of two
-// Results (PlanningStats is timing and may differ).
+// Results (PlanningStats is timing and may differ). Shared by the
+// parallel-vs-sequential harness and the plan-cache differential
+// harness, so the label names the two runs being compared.
 func requireResultsEqual(t *testing.T, label string, a, b *Result) {
 	t.Helper()
 	fail := func(field string, x, y any) {
-		t.Fatalf("%s: sequential and parallel runs disagree on %s:\n  seq: %v\n  par: %v", label, field, x, y)
+		t.Fatalf("%s: runs disagree on %s:\n  a: %v\n  b: %v", label, field, x, y)
 	}
 	if a.Query.String() != b.Query.String() {
 		fail("Query", a.Query, b.Query)

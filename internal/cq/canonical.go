@@ -43,6 +43,36 @@ func CanonicalKey(q *Query) string {
 
 const canonicalExactLimit = 16
 
+// CanonicalLabeling returns ExactCanonicalKey(q) together with the winning
+// labeling's variable order: vars[i] is the variable of q that the canonical
+// form numbers Vi. Two queries with equal exact keys are the same up to
+// variable renaming, and the witnessing bijection maps one labeling's vars[i]
+// to the other's vars[i] — this is what lets a plan cache rebase a Result
+// computed for one spelling of a query onto an alpha-renamed arrival.
+// ok is false under the same conditions as ExactCanonicalKey (oversized
+// body or built-in comparisons); the labeling is then not computed.
+//
+// Recording the labeling is gated behind an internal flag so CanonicalKey —
+// which runs once per view on the grouping hot path — keeps its allocation
+// profile: only CanonicalLabeling pays for materializing bestVars.
+func CanonicalLabeling(q *Query) (key string, vars []Var, ok bool) {
+	if len(q.Body) > canonicalExactLimit || len(q.Comparisons) > 0 {
+		return "", nil, false
+	}
+	c := &canonicalizer{q: q, used: make([]bool, len(q.Body)), wantVars: true}
+	c.buf = append(c.buf, q.Head.Pred...)
+	c.buf = append(c.buf, '(')
+	for i, t := range q.Head.Args {
+		if i > 0 {
+			c.buf = append(c.buf, ',')
+		}
+		c.label(t)
+	}
+	c.buf = append(c.buf, ')', '|')
+	c.emit(0)
+	return string(c.best), c.bestVars, true
+}
+
 // ExactCanonicalKey returns CanonicalKey(q) together with whether the key
 // is exact: identical keys imply the queries are the same up to variable
 // renaming and body reordering. Exactness fails when the body exceeds the
@@ -74,6 +104,8 @@ type canonicalizer struct {
 	buf      []byte
 	best     []byte
 	haveBest bool
+	wantVars bool  // record the winning labeling's variable order
+	bestVars []Var // vars of the best labeling, when wantVars
 }
 
 // label appends the canonical spelling of a term under the current
@@ -113,6 +145,9 @@ func (c *canonicalizer) emit(emitted int) {
 		if !c.haveBest || string(c.buf) < string(c.best) {
 			c.best = append(c.best[:0], c.buf...)
 			c.haveBest = true
+			if c.wantVars {
+				c.bestVars = append(c.bestVars[:0], c.vars...)
+			}
 		}
 		return
 	}

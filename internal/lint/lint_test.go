@@ -25,6 +25,13 @@ func TestInternMixPlannerInterner(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.InternMix, "internmix_cq")
 }
 
+// TestInternMixViewCatalog pins the resident catalog as an interner
+// owner: predicate ids from Catalog.LookupPred are private to one
+// catalog value, and copy-on-write generations are distinct id spaces.
+func TestInternMixViewCatalog(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.InternMix, "internmix_catalog")
+}
+
 func TestWallClock(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.WallClock, "wallclock")
 }

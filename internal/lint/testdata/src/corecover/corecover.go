@@ -1,0 +1,36 @@
+// Package corecover is the fixtures' stand-in for the real
+// internal/corecover resident catalog: internmix matches
+// corecover.Catalog and its LookupPred/PredName pair by name, so this
+// mirror drives the analyzer exactly as the real package would.
+package corecover
+
+// Catalog mirrors the resident view catalog: an immutable compilation
+// of a view set owning a view-vocabulary interner. Copy-on-write
+// mutation rebuilds the vocabulary, so predicate ids are private to one
+// catalog value.
+type Catalog struct {
+	preds []string
+}
+
+// NewCatalog builds a stand-in catalog over the given predicate names.
+func NewCatalog(preds ...string) *Catalog { return &Catalog{preds: preds} }
+
+// LookupPred returns the catalog's dense id for a predicate name.
+func (c *Catalog) LookupPred(name string) (uint32, bool) {
+	for i, have := range c.preds {
+		if have == name {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+// PredName resolves a predicate id produced by this catalog.
+func (c *Catalog) PredName(id uint32) string { return c.preds[id] }
+
+// AddViews mirrors copy-on-write growth: the successor owns a fresh
+// vocabulary, so its ids share nothing with the receiver's.
+func (c *Catalog) AddViews(preds ...string) *Catalog {
+	next := append(append([]string(nil), c.preds...), preds...)
+	return &Catalog{preds: next}
+}

@@ -1,0 +1,58 @@
+// The internmix_catalog fixture drives the interner-boundary analyzer
+// with the stand-in resident catalog: the catalog owns its view
+// vocabulary, and copy-on-write mutation gives every generation a
+// fresh id space, so a predicate id from one catalog resolved against
+// another names an unrelated predicate.
+package resident
+
+import "corecover"
+
+// crossCatalog resolves a predicate id from catalog a against catalog b.
+func crossCatalog(a, b *corecover.Catalog, name string) string {
+	id, ok := a.LookupPred(name)
+	if !ok {
+		return ""
+	}
+	return b.PredName(id) // want `ids are private to one interner`
+}
+
+// crossGeneration is the same bug through copy-on-write: the successor
+// generation's vocabulary shares nothing with its ancestor's.
+func crossGeneration(cat *corecover.Catalog, name string) string {
+	id, ok := cat.LookupPred(name)
+	if !ok {
+		return ""
+	}
+	next := cat.AddViews("v9")
+	return next.PredName(id) // want `ids are private to one interner`
+}
+
+// sameCatalog keeps the id inside the catalog that minted it.
+func sameCatalog(cat *corecover.Catalog, name string) string {
+	id, ok := cat.LookupPred(name)
+	if !ok {
+		return ""
+	}
+	return cat.PredName(id)
+}
+
+// compareAcross compares ids from two catalogs.
+func compareAcross(a, b *corecover.Catalog, name string) bool {
+	ida, _ := a.LookupPred(name)
+	idb, _ := b.LookupPred(name)
+	return ida == idb // want `comparing interned ids from different interners`
+}
+
+// mintRaw converts a raw integer straight into an id position.
+func mintRaw(cat *corecover.Catalog, i int) string {
+	return cat.PredName(uint32(i)) // want `raw integer converted to an interned id`
+}
+
+// annotated documents a deliberate cross-catalog resolution.
+func annotated(a, b *corecover.Catalog, name string) string {
+	id, ok := a.LookupPred(name)
+	if !ok {
+		return ""
+	}
+	return b.PredName(id) //viewplan:intern-ok fixture exercises the suppression comment
+}

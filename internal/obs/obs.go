@@ -127,6 +127,20 @@ const (
 	// performed for hom-cache keying (cache hits on a per-query key
 	// cache do not count).
 	CtrCanonicalKeyBuilds
+	// CtrPlanCacheHit counts planning requests answered from the plan
+	// cache without running the CoreCover pipeline.
+	CtrPlanCacheHit
+	// CtrPlanCacheMiss counts plan-cache lookups that fell through to a
+	// cold planning run (counted only while a cache is attached).
+	CtrPlanCacheMiss
+	// CtrPlanCacheEvict counts plan-cache entries evicted to make room
+	// under the capacity bound.
+	CtrPlanCacheEvict
+	// CtrPlanCacheBypass counts planning requests that skipped the plan
+	// cache because the query is not exactly canonicalizable (oversized
+	// body or built-in comparisons) or uses the planner's reserved
+	// variable namespace.
+	CtrPlanCacheBypass
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -159,6 +173,10 @@ var counterNames = [NumCounters]string{
 	CtrHomBacktracks:      "hom_backtracks",
 	CtrHomPrunes:          "hom_prunes",
 	CtrCanonicalKeyBuilds: "canonical_key_builds",
+	CtrPlanCacheHit:       "plan_cache_hits",
+	CtrPlanCacheMiss:      "plan_cache_misses",
+	CtrPlanCacheEvict:     "plan_cache_evictions",
+	CtrPlanCacheBypass:    "plan_cache_bypass",
 }
 
 // String returns the counter's snake_case snapshot key.

@@ -111,6 +111,55 @@ func (s *Set) Subset(names []string) (*Set, error) {
 	return sub, nil
 }
 
+// Append returns a new Set holding the receiver's views followed by the
+// given definitions, validating each addition and rejecting duplicate
+// names. Copy-on-write: the existing View objects are shared with the
+// receiver (definitions are immutable after NewSet), so a resident
+// catalog can add views without recompiling the unchanged ones.
+func (s *Set) Append(defs ...*cq.Query) (*Set, error) {
+	out := &Set{
+		Views:  make([]*View, len(s.Views), len(s.Views)+len(defs)),
+		byName: make(map[string]*View, len(s.Views)+len(defs)),
+	}
+	copy(out.Views, s.Views)
+	for n, v := range s.byName { //viewplan:nondet-ok map copy into a map; iteration order cannot reach the result
+		out.byName[n] = v
+	}
+	for _, d := range defs {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("views: invalid view %s: %w", d.Name(), err)
+		}
+		if _, dup := out.byName[d.Name()]; dup {
+			return nil, fmt.Errorf("views: duplicate view name %q", d.Name())
+		}
+		v := &View{Def: d.Clone()}
+		out.Views = append(out.Views, v)
+		out.byName[v.Name()] = v
+	}
+	return out, nil
+}
+
+// Remove returns a new Set without the named view, preserving the order
+// of the rest. Copy-on-write: the remaining View objects are shared with
+// the receiver. Removing an unknown name is an error.
+func (s *Set) Remove(name string) (*Set, error) {
+	if s.ByName(name) == nil {
+		return nil, fmt.Errorf("views: unknown view %q", name)
+	}
+	out := &Set{
+		Views:  make([]*View, 0, len(s.Views)-1),
+		byName: make(map[string]*View, len(s.Views)-1),
+	}
+	for _, v := range s.Views {
+		if v.Name() == name {
+			continue
+		}
+		out.Views = append(out.Views, v)
+		out.byName[v.Name()] = v
+	}
+	return out, nil
+}
+
 // Expand computes the expansion P^exp of a rewriting P: every view subgoal
 // is replaced by the view's body with distinguished variables bound to the
 // subgoal's arguments and existential variables replaced by fresh
@@ -181,6 +230,40 @@ func (s *Set) IsEquivalentRewriting(p, q *cq.Query) bool {
 	return containment.Equivalent(exp, q)
 }
 
+// DefinitionKey returns the equivalence key of a view definition: the
+// canonical form of the minimized definition with the head predicate name
+// erased. Two views have equal keys exactly when their definitions are
+// equivalent as queries (cores are unique up to renaming), so the key is
+// what EquivalenceClasses groups by. It is the expensive per-view part of
+// grouping — Minimize plus a canonical labeling — which is why a resident
+// catalog computes it once per view and reuses it across queries and
+// copy-on-write set mutations.
+func DefinitionKey(v *View) string {
+	// View names differ even when definitions coincide (v1 and v5 in
+	// the paper), so equivalence is judged on the definition with the
+	// head predicate name erased.
+	return cq.CanonicalKey(containment.Minimize(anonymizeHead(v.Def)))
+}
+
+// ClassesFromKeys groups the set's views by precomputed definition keys:
+// keys[i] must be DefinitionKey(s.Views[i]). Classes appear in order of
+// first member; the first member of each class is the representative.
+// Callers with a resident catalog use this to regroup after copy-on-write
+// mutations without recomputing unchanged keys.
+func (s *Set) ClassesFromKeys(keys []string) [][]*View {
+	byKey := make(map[string]int, len(keys))
+	var classes [][]*View
+	for i, v := range s.Views {
+		if ci, ok := byKey[keys[i]]; ok {
+			classes[ci] = append(classes[ci], v)
+			continue
+		}
+		byKey[keys[i]] = len(classes)
+		classes = append(classes, []*View{v})
+	}
+	return classes
+}
+
 // EquivalenceClasses groups the views into classes of queries equivalent
 // as view definitions (Section 5.2). Each class lists member views; the
 // first member is the representative.
@@ -192,21 +275,11 @@ func (s *Set) IsEquivalentRewriting(p, q *cq.Query) bool {
 // so equal keys are a sound and complete equivalence test; no pairwise
 // containment checks are needed.
 func (s *Set) EquivalenceClasses() [][]*View {
-	byKey := make(map[string]int)
-	var classes [][]*View
-	for _, v := range s.Views {
-		// View names differ even when definitions coincide (v1 and v5 in
-		// the paper), so equivalence is judged on the definition with the
-		// head predicate name erased.
-		k := cq.CanonicalKey(containment.Minimize(anonymizeHead(v.Def)))
-		if ci, ok := byKey[k]; ok {
-			classes[ci] = append(classes[ci], v)
-			continue
-		}
-		byKey[k] = len(classes)
-		classes = append(classes, []*View{v})
+	keys := make([]string, len(s.Views))
+	for i, v := range s.Views {
+		keys[i] = DefinitionKey(v)
 	}
-	return classes
+	return s.ClassesFromKeys(keys)
 }
 
 // anonymizeHead returns a view of def whose head predicate is replaced

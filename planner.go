@@ -43,6 +43,15 @@ type PlanRequest struct {
 	// call gets a private one so the registry still sees the run (and
 	// PlanResult.Stats carries its snapshot).
 	Registry *Registry
+	// Catalog, when non-nil, plans against the resident compiled view
+	// world instead of the vs argument (which is then ignored): view
+	// validation, equivalence grouping, and the representative subset
+	// come precompiled from CompileViews. See Options.Catalog.
+	Catalog *ViewCatalog
+	// Cache, when non-nil alongside Catalog, memoizes the rewriting
+	// generator's Results across requests under the query's exact
+	// canonical key and the catalog generation. See Options.Cache.
+	Cache *PlanCache
 }
 
 // PlanResult is the planner's answer: the chosen rewriting with its
@@ -80,7 +89,13 @@ func PlanQuery(db *Database, q *Query, vs *ViewSet, req PlanRequest) (*PlanResul
 	if req.Registry != nil && req.Tracer == nil {
 		req.Tracer = obs.New()
 	}
-	opts := corecover.Options{MaxRewritings: req.MaxRewritings, Parallelism: req.Parallelism, Tracer: req.Tracer}
+	opts := corecover.Options{
+		MaxRewritings: req.MaxRewritings,
+		Parallelism:   req.Parallelism,
+		Tracer:        req.Tracer,
+		Catalog:       req.Catalog,
+		Cache:         req.Cache,
+	}
 	if req.Tracer != nil && db != nil {
 		prev := db.Tracer()
 		db.SetTracer(req.Tracer)

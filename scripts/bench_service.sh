@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Warm-request allocation gate for the resident planning service: run
+# BenchmarkWarmPlanRequest (a primed plan-cache hit against a compiled
+# 200-view ViewCatalog) with -benchmem and compare allocs/op against the
+# checked-in baseline. Allocations per warm request are deterministic
+# for the fixed workload, unlike wall time, so the gate is usable on
+# loaded CI machines — and allocs are exactly what the hit path's
+# template/shallow-copy machinery exists to keep flat: a regression here
+# means cache hits started deep-copying or re-rendering again. The gate
+# fails when allocs/op regress more than 10% above baseline; an
+# improvement beyond 10% prints a reminder to re-baseline.
+#
+# Usage: scripts/bench_service.sh [-update]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench='BenchmarkWarmPlanRequest'
+baseline_file='scripts/bench_service_baseline.txt'
+name='bench_service'
+
+out=$(go test -run '^$' -bench "^${bench}\$" -benchmem -benchtime 100x . 2>&1) || {
+    echo "$out"
+    exit 1
+}
+echo "$out"
+allocs=$(echo "$out" | awk '/allocs\/op/ {print $(NF-1); exit}')
+if [ -z "$allocs" ]; then
+    echo "$name: could not parse allocs/op from benchmark output" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "-update" ]; then
+    echo "$allocs" > "$baseline_file"
+    echo "$name: baseline updated to $allocs allocs/op"
+    exit 0
+fi
+
+baseline=$(cat "$baseline_file")
+# Integer math: fail when allocs > baseline * 1.1. A one-alloc slack
+# absorbs rounding on single-digit baselines.
+limit=$((baseline + baseline / 10 + 1))
+floor=$((baseline - baseline / 10 - 1))
+echo "$name: $allocs allocs/op (baseline $baseline, limit $limit)"
+if [ "$allocs" -gt "$limit" ]; then
+    echo "$name: FAIL — allocs/op regressed >10% over baseline; warm hits are deep-copying or re-rendering" >&2
+    exit 1
+fi
+if [ "$allocs" -lt "$floor" ]; then
+    echo "$name: improved >10% under baseline; run scripts/bench_service.sh -update to lock it in"
+fi
+echo "$name: OK"

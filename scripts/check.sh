@@ -2,13 +2,14 @@
 # check.sh — fast pre-commit gate: vet everything, run viewplanlint
 # (the repo's own analyzer suite: determinism, tracer-threading, and
 # intern-safety invariants; see internal/lint), then run the
-# observability, planner-core, and view-tuple tests with the race
-# detector (the obs counters, the shared Registry with its atomic
-# histograms — including the end-to-end TestRegistryConcurrentPlanQuery
-# merge test — the hom cache, and the parallel fanout are the only
-# shared mutable state on the hot path, so these are the packages where
-# a data race would hide), and finish with a short fuzz smoke of the cq
-# parser.
+# observability, planner-core, view-tuple, and planning-service tests
+# with the race detector (the obs counters, the shared Registry with its
+# atomic histograms — including the end-to-end
+# TestRegistryConcurrentPlanQuery merge test — the hom cache, the
+# parallel fanout, and the resident ViewCatalog + plan cache hammered by
+# the service soak are the only shared mutable state on the hot path, so
+# these are the packages where a data race would hide), and finish with
+# a short fuzz smoke of the cq parser.
 #
 # The lint binary is built once into bin/ (go's build cache makes the
 # rebuild a no-op when nothing changed), keeping the whole gate fast.
@@ -28,8 +29,8 @@ echo "== viewplanlint ./... (per-analyzer counts on stderr)"
 go build -o bin/viewplanlint ./cmd/viewplanlint
 ./bin/viewplanlint ./...
 
-echo "== go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/... (VIEWPLAN_PARALLEL=8)"
-VIEWPLAN_PARALLEL=8 go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/...
+echo "== go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/... ./internal/service/... (VIEWPLAN_PARALLEL=8)"
+VIEWPLAN_PARALLEL=8 go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/... ./internal/service/...
 
 echo "== fuzz smoke: cq parser round-trips (10s each)"
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=10s ./internal/cq

@@ -52,6 +52,26 @@
 // tracer is a no-op: the ...With entry points with a zero Options
 // value plan with zero instrumentation overhead.
 //
+// # Service
+//
+// For the resident deployment shape — one long-lived view world, many
+// arriving queries — compile the views once into a ViewCatalog and
+// attach it, with a PlanCache, to every request:
+//
+//	cat, _ := viewplan.CompileViews(vs, viewplan.Options{})
+//	cache := viewplan.NewPlanCache(1024)
+//	res, _ := viewplan.FindGMRsWith(q, nil, viewplan.Options{Catalog: cat, Cache: cache})
+//
+// The catalog is immutable and shared freely across goroutines;
+// AddViews/RemoveView return copy-on-write successors under fresh
+// generations, which the cache's keys embed, so view mutations
+// invalidate without purging. Results served from the cache are
+// byte-identical to cold runs (a guarantee the cache-differential
+// tests pin across a corpus, at every parallelism, and across
+// interleaved mutations). cmd/planserve serves this pair over
+// HTTP/JSON with hit/miss/eviction counters in a Registry, and
+// cmd/servebench measures it under sustained concurrent traffic.
+//
 // The packages under internal/ hold the implementation: cq (conjunctive
 // queries), containment (Chandra–Merlin machinery), views (expansions and
 // view tuples), corecover (the paper's core), engine (execution), cost
@@ -100,6 +120,18 @@ type (
 	Result = corecover.Result
 	// Options tunes the CoreCover algorithms.
 	Options = corecover.Options
+	// ViewCatalog is an immutable compilation of a view set, built once
+	// by CompileViews and shared freely across goroutines: precompiled
+	// view vocabulary, equivalence classes, and the representative
+	// subset, with copy-on-write AddViews/RemoveView returning a new
+	// catalog under a fresh generation. Attach via Options.Catalog or
+	// PlanRequest.Catalog.
+	ViewCatalog = corecover.Catalog
+	// PlanCache is a size-bounded concurrent LRU memo of planning
+	// Results keyed by the query's exact canonical key and the catalog
+	// generation. Attach via Options.Cache or PlanRequest.Cache,
+	// alongside a ViewCatalog.
+	PlanCache = corecover.PlanCache
 	// TupleCore is the set of query subgoals a view tuple covers.
 	TupleCore = corecover.TupleCore
 	// Database is the in-memory relational store.
@@ -320,15 +352,39 @@ func MaximallyContained(q *Query, vs *ViewSet, maxDisjuncts int) (*Union, error)
 	return ucq.MaximallyContained(q, vs, maxDisjuncts)
 }
 
-// Catalog holds System-R style statistics (row counts, per-column
+// StatsCatalog holds System-R style statistics (row counts, per-column
 // distinct counts) for estimating plan costs without execution.
+type StatsCatalog = stats.Catalog
+
+// Catalog is the former name of StatsCatalog.
+//
+// Deprecated: use StatsCatalog. "Catalog" now refers to the resident
+// view world (ViewCatalog); this alias remains so existing callers of
+// CollectStats keep compiling.
 type Catalog = stats.Catalog
 
-// CollectStats scans the database's relations into a Catalog.
-func CollectStats(db *Database) Catalog { return stats.Collect(db) }
+// CollectStats scans the database's relations into a StatsCatalog.
+func CollectStats(db *Database) StatsCatalog { return stats.Collect(db) }
 
 // EstimateBestOrderM2 returns the join order with the lowest estimated
 // M2 cost for the rewriting, plus the estimate, from statistics alone.
-func EstimateBestOrderM2(cat Catalog, p *Query) ([]int, float64, error) {
+func EstimateBestOrderM2(cat StatsCatalog, p *Query) ([]int, float64, error) {
 	return stats.BestOrderM2(cat, p)
 }
+
+// CompileViews compiles a view set into a resident ViewCatalog: view
+// validation, the per-view definition keys, the Section 5.2 equivalence
+// classes, and the representative subset computed once and reused by
+// every request that attaches the catalog. opts contributes Parallelism
+// (key computation fans out) and Tracer; planning-time fields are
+// ignored.
+func CompileViews(vs *ViewSet, opts Options) (*ViewCatalog, error) {
+	return corecover.CompileViews(vs, opts)
+}
+
+// NewPlanCache returns a concurrent plan cache bounded to capacity
+// entries (LRU eviction; capacity <= 0 stores nothing). Share one cache
+// across all requests planning against the same ViewCatalog lineage —
+// keys embed the catalog generation, so entries from before an
+// AddViews/RemoveView can never serve afterwards.
+func NewPlanCache(capacity int) *PlanCache { return corecover.NewPlanCache(capacity) }
