@@ -571,3 +571,35 @@ func BenchmarkEngineEvaluate(b *testing.B) {
 		}
 	}
 }
+
+// The scale pipeline's gated point: planning an 8-subgoal star query
+// against a resident 1000-view catalog through the sharded cover search
+// (candidate prefilter, batched probes, component-decomposed
+// enumeration). scripts/bench_scale.sh gates allocs/op here against
+// scripts/bench_scale_baseline.txt; cmd/benchscale sweeps the full
+// 1k/5k/20k × shards × parallelism grid into BENCH_scale.json.
+func BenchmarkScalePlanning1kSharded(b *testing.B) {
+	inst, err := workload.ScaleCatalog(1000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := viewplan.CompileViews(inst.Views, viewplan.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := viewplan.Options{Parallelism: 1, CoverShards: 1, MaxRewritings: 8, Catalog: cat}
+	if _, err := viewplan.FindGMRsWith(inst.Query, nil, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := viewplan.FindGMRsWith(inst.Query, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rewritings) == 0 {
+			b.Fatal("no rewriting")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Command benchscale measures planning against massive view catalogs —
+// the sharded, batched cover-search pipeline versus the legacy planner —
+// and writes BENCH_scale.json. Each point plans the scale star workload
+// (workload.ScaleCatalog: an 8-subgoal star query over a vocabulary
+// that widens with the view count) through a resident Catalog, sweeping
+// view count × cover shards × parallelism, and reports wall-clock and
+// allocations per planning run plus the speedup of every sharded
+// setting over the legacy planner at the same parallelism.
+//
+// Determinism is checked, not assumed: within each point, every
+// configuration's rewritings must be byte-identical to the legacy
+// planner's, and the run fails otherwise.
+//
+// Usage:
+//
+//	benchscale                                    # 1k/5k/20k sweep, gate at 2x
+//	benchscale -views 1000 -shards 0,1 -iters 20  # quick look
+//	benchscale -min-speedup 0                     # report only, no gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"viewplan/internal/corecover"
+	"viewplan/internal/workload"
+)
+
+func main() {
+	var (
+		viewsFl  = flag.String("views", "1000,5000,20000", "comma-separated catalog sizes")
+		shardsFl = flag.String("shards", "0,1,4,16", "comma-separated CoverShards settings (0 = legacy planner)")
+		parFl    = flag.String("parallel", "1,8", "comma-separated per-run worker-pool bounds")
+		iters    = flag.Int("iters", 10, "planning runs averaged per point")
+		capFl    = flag.Int("cap", 8, "MaxRewritings per run (0 = unbounded)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		out      = flag.String("out", "BENCH_scale.json", "output report path")
+		minSpeed = flag.Float64("min-speedup", 2, "fail unless, at every view count >= 5000, the best sharded setting beats the legacy planner by this factor at the same parallelism (0 disables)")
+	)
+	flag.Parse()
+	if err := run(*viewsFl, *shardsFl, *parFl, *iters, *capFl, *seed, *out, *minSpeed); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscale:", err)
+		os.Exit(1)
+	}
+}
+
+// point is one (views, shards, parallelism) measurement.
+type point struct {
+	Views       int     `json:"views"`
+	CoverShards int     `json:"cover_shards"`
+	Parallelism int     `json:"parallelism"`
+	WallNanos   int64   `json:"wall_ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Rewritings  int     `json:"rewritings"`
+	Speedup     float64 `json:"speedup_vs_legacy"` // legacy = shards 0 at the same parallelism
+}
+
+type report struct {
+	Description string `json:"description"`
+	Command     string `json:"command"`
+	Iters       int    `json:"iters_per_point"`
+	MaxRewrite  int    `json:"max_rewritings"`
+	Seed        int64  `json:"seed"`
+	Cores       int    `json:"cores"`
+	Compile     []struct {
+		Views        int   `json:"views"`
+		Vocab        int   `json:"vocabulary"`
+		CompileNanos int64 `json:"compile_ns"`
+	} `json:"catalog_compile"`
+	Points []point `json:"points"`
+}
+
+func run(viewsFl, shardsFl, parFl string, iters, capFl int, seed int64, out string, minSpeed float64) error {
+	viewCounts, err := intList(viewsFl)
+	if err != nil {
+		return err
+	}
+	shardList, err := intList(shardsFl)
+	if err != nil {
+		return err
+	}
+	parList, err := intList(parFl)
+	if err != nil {
+		return err
+	}
+	if iters < 1 {
+		return fmt.Errorf("iters must be >= 1")
+	}
+
+	var rep report
+	rep.Description = fmt.Sprintf(
+		"Planning wall-clock and allocations against massive view catalogs: scale star workload (8-subgoal query, vocabulary widening with view count), resident catalog, %d runs averaged per point. cover_shards 0 is the legacy planner; sharded settings must produce byte-identical rewritings and are reported with their speedup over legacy at the same parallelism.",
+		iters)
+	rep.Command = "go run ./cmd/benchscale"
+	rep.Iters = iters
+	rep.MaxRewrite = capFl
+	rep.Seed = seed
+	rep.Cores = runtime.NumCPU()
+
+	for _, n := range viewCounts {
+		inst, err := workload.ScaleCatalog(n, seed)
+		if err != nil {
+			return err
+		}
+		compileStart := time.Now()
+		cat, err := corecover.CompileViews(inst.Views, corecover.Options{})
+		if err != nil {
+			return err
+		}
+		compile := time.Since(compileStart)
+		rep.Compile = append(rep.Compile, struct {
+			Views        int   `json:"views"`
+			Vocab        int   `json:"vocabulary"`
+			CompileNanos int64 `json:"compile_ns"`
+		}{n, workload.ScaleVocab(n), compile.Nanoseconds()})
+		fmt.Printf("views=%d: catalog compiled in %v\n", n, compile.Round(time.Millisecond))
+
+		legacyWall := map[int]int64{} // parallelism -> legacy ns/op
+		var legacyPlan []string
+		for _, shards := range shardList {
+			for _, par := range parList {
+				opts := corecover.Options{
+					Parallelism:   par,
+					CoverShards:   shards,
+					MaxRewritings: capFl,
+					Catalog:       cat,
+				}
+				res, err := corecover.CoreCover(inst.Query, nil, opts) // warm-up, and the identity witness
+				if err != nil {
+					return err
+				}
+				plan := renderPlan(res)
+				if shards == 0 && legacyPlan == nil {
+					legacyPlan = plan
+				} else if legacyPlan != nil && !equalPlans(plan, legacyPlan) {
+					return fmt.Errorf("views=%d shards=%d parallel=%d: rewritings differ from the legacy planner", n, shards, par)
+				}
+
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					if _, err := corecover.CoreCover(inst.Query, nil, opts); err != nil {
+						return err
+					}
+				}
+				wall := time.Since(start)
+				runtime.ReadMemStats(&after)
+
+				p := point{
+					Views:       n,
+					CoverShards: shards,
+					Parallelism: par,
+					WallNanos:   wall.Nanoseconds() / int64(iters),
+					AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+					Rewritings:  len(res.Rewritings),
+				}
+				if shards == 0 {
+					legacyWall[par] = p.WallNanos
+				} else if base, ok := legacyWall[par]; ok && p.WallNanos > 0 {
+					p.Speedup = float64(base) / float64(p.WallNanos)
+				}
+				rep.Points = append(rep.Points, p)
+				fmt.Printf("views=%d shards=%-2d parallel=%d: %10v/op %8d allocs/op", n, shards, par,
+					time.Duration(p.WallNanos), p.AllocsPerOp)
+				if p.Speedup > 0 {
+					fmt.Printf("  %5.1fx vs legacy", p.Speedup)
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+
+	if minSpeed > 0 {
+		for _, n := range viewCounts {
+			if n < 5000 {
+				continue
+			}
+			for _, par := range parList {
+				best := 0.0
+				for _, p := range rep.Points {
+					if p.Views == n && p.Parallelism == par && p.Speedup > best {
+						best = p.Speedup
+					}
+				}
+				if best == 0 {
+					continue // no sharded setting was swept at this parallelism
+				}
+				if best < minSpeed {
+					return fmt.Errorf("views=%d parallel=%d: best sharded speedup %.2fx, gate %.1fx", n, par, best, minSpeed)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// renderPlan is the identity witness: the rewritings as strings.
+func renderPlan(res *corecover.Result) []string {
+	out := make([]string, len(res.Rewritings))
+	for i, rw := range res.Rewritings {
+		out[i] = rw.String()
+	}
+	return out
+}
+
+func equalPlans(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad list entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}

@@ -21,6 +21,7 @@
 //
 //	servebench                          # 200 views, 2 clients/core, gate at 5x
 //	servebench -clients 16 -cold 2000 -hot 128 -rounds 100
+//	servebench -views 5000 -shards 4    # scale catalog, sharded planner
 //	servebench -out BENCH_service.json -min-speedup 5
 package main
 
@@ -51,11 +52,12 @@ func main() {
 		rounds   = flag.Int("rounds", 64, "replays of the hot set per client in the warm sweep")
 		cacheCap = flag.Int("cache", 4096, "plan cache capacity")
 		par      = flag.Int("parallel", 1, "per-request planner worker-pool bound (concurrency comes from clients)")
+		shards   = flag.Int("shards", 0, "planner cover shards (0 = legacy planner; >0 = sharded scale pipeline)")
 		out      = flag.String("out", "BENCH_service.json", "output report path")
 		minSpeed = flag.Float64("min-speedup", 5, "fail unless cold p50 / warm p50 and cold p50 / warm p99 both reach this factor")
 	)
 	flag.Parse()
-	if err := run(*numViews, *subgoals, *clients, *cold, *hot, *rounds, *cacheCap, *par, *out, *minSpeed); err != nil {
+	if err := run(*numViews, *subgoals, *clients, *cold, *hot, *rounds, *cacheCap, *par, *shards, *out, *minSpeed); err != nil {
 		fmt.Fprintln(os.Stderr, "servebench:", err)
 		os.Exit(1)
 	}
@@ -85,6 +87,8 @@ type report struct {
 		Rounds      int `json:"rounds"`
 		CacheCap    int `json:"cache_capacity"`
 		Parallelism int `json:"parallelism"`
+		CoverShards int `json:"cover_shards"`
+		Vocab       int `json:"vocabulary"`
 		Cores       int `json:"cores"`
 	} `json:"config"`
 	Cold               phaseReport           `json:"cold"`
@@ -95,33 +99,30 @@ type report struct {
 	Registry           *obs.RegistrySnapshot `json:"registry"`
 }
 
-func run(numViews, subgoals, clients, cold, hot, rounds, cacheCap, par int, out string, minSpeed float64) error {
+func run(numViews, subgoals, clients, cold, hot, rounds, cacheCap, par, shards int, out string, minSpeed float64) error {
 	if clients <= 0 {
 		// Two clients per core keeps the service saturated (there is
 		// always a runnable request) without drowning per-request
 		// latency in run-queue wait on small machines.
 		clients = 2 * runtime.GOMAXPROCS(0)
 	}
-	// The catalog is the Fig. 6a star world: views over the e1..e16
-	// vocabulary of an 8-subgoal star query. The benchmark queries are
-	// distinct star queries over k-subsets of that same vocabulary, so
-	// every request exercises real view-tuple work against the resident
-	// views while staying pairwise distinct under ExactCanonicalKey.
-	inst, err := workload.Generate(workload.Config{
-		Shape:         workload.Star,
-		QuerySubgoals: 8,
-		NumViews:      numViews,
-		Seed:          42,
-	})
+	// The catalog is the scale star world (the Fig. 6a shape): views over
+	// the e1..eN vocabulary of an 8-subgoal star query, N growing with
+	// the view count (ScaleVocab; 16 at the default 200 views, so the
+	// default report is unchanged). The benchmark queries are distinct
+	// star queries over k-subsets of that same vocabulary, so every
+	// request exercises real view-tuple work against the resident views
+	// while staying pairwise distinct under ExactCanonicalKey.
+	inst, err := workload.ScaleCatalog(numViews, 42)
 	if err != nil {
 		return err
 	}
-	vocab := 16 // NumBaseRelations for the 8-subgoal star workload
+	vocab := workload.ScaleVocab(numViews)
 	queries := starQueries(vocab, subgoals, cold+hot)
 	if len(queries) < cold+hot {
 		return fmt.Errorf("only %d distinct %d-subgoal queries over %d relations; lower -cold/-hot", len(queries), subgoals, vocab)
 	}
-	srv, err := service.New(service.Config{Views: inst.Views, CacheSize: cacheCap, Parallelism: par})
+	srv, err := service.New(service.Config{Views: inst.Views, CacheSize: cacheCap, Parallelism: par, CoverShards: shards})
 	if err != nil {
 		return err
 	}
@@ -139,6 +140,8 @@ func run(numViews, subgoals, clients, cold, hot, rounds, cacheCap, par int, out 
 	rep.Config.Rounds = rounds
 	rep.Config.CacheCap = cacheCap
 	rep.Config.Parallelism = par
+	rep.Config.CoverShards = shards
+	rep.Config.Vocab = vocab
 	rep.Config.Cores = runtime.NumCPU()
 
 	coldQueries := queries[:cold]

@@ -73,6 +73,14 @@ func (s SubgoalSet) LowestMissing(universe SubgoalSet) int {
 	return i
 }
 
+// Lowest returns the smallest element of s, or -1 when s is empty.
+func (s SubgoalSet) Lowest() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
 // Elements returns the members in increasing order.
 func (s SubgoalSet) Elements() []int {
 	return s.AppendElements(nil)

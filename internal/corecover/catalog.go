@@ -61,6 +61,12 @@ type Catalog struct {
 	// byPred lists, per interned base-predicate id, the names of the
 	// views whose definitions mention it, in set order.
 	byPred map[uint32][]string
+	// workPreds[i] lists the distinct interned body-predicate ids of
+	// work.Views[i]. The scale pipeline's candidate prefilter
+	// (Options.CoverShards > 0) tests these against the minimized
+	// query's predicates, so deciding that a view cannot contribute
+	// tuples costs a few array loads instead of a kernel setup.
+	workPreds [][]uint32
 }
 
 // CompileViews compiles a view set into a resident Catalog. Each view
@@ -143,7 +149,30 @@ func newCatalog(vs *views.Set, keys []string) (*Catalog, error) {
 			}
 		}
 	}
+	c.workPreds = compileWorkPreds(work, c.vocab)
 	return c, nil
+}
+
+// compileWorkPreds builds the per-representative distinct body-pred id
+// lists for the candidate prefilter. Every predicate is already interned
+// (vocab covers all views, and work is a subset), so this only reads.
+func compileWorkPreds(work *views.Set, vocab *cq.Interner) [][]uint32 {
+	out := make([][]uint32, work.Len())
+	for i, v := range work.Views {
+		var ids []uint32
+	atoms:
+		for _, a := range v.Def.Body {
+			id := vocab.PredID(a.Pred)
+			for _, have := range ids {
+				if have == id {
+					continue atoms
+				}
+			}
+			ids = append(ids, id)
+		}
+		out[i] = ids
+	}
+	return out
 }
 
 // Generation returns the catalog's process-unique generation. Plan-cache
@@ -165,9 +194,12 @@ func (c *Catalog) Names() []string { return c.vs.Names() }
 func (c *Catalog) NumClasses() int { return len(c.classes) }
 
 // LookupPred returns the catalog's interned id for a predicate name; ok
-// is false when no view definition mentions it. Ids are private to this
-// catalog's vocabulary and must not be resolved against any other
-// interner (internmix enforces this).
+// is false when no view definition in the catalog's lineage mentions it
+// (after an incremental RemoveView a predicate of removed views may
+// still resolve; ViewsMentioning reports nil for it). Ids are private
+// to this catalog's vocabulary — shared only along its RemoveView
+// lineage — and must not be resolved against any other interner
+// (internmix enforces this).
 func (c *Catalog) LookupPred(name string) (uint32, bool) {
 	return c.vocab.LookupPred(name)
 }
@@ -221,17 +253,160 @@ func (c *Catalog) AddViews(defs ...*cq.Query) (*Catalog, error) {
 // RemoveView returns a new Catalog without the named view, sharing the
 // remaining View objects and their definition keys, under a fresh
 // generation. Removing an unknown name is an error.
+//
+// The repair is incremental: only the removed view's key is dropped and
+// only its equivalence class is touched — a non-representative member
+// is filtered out of its class slice (everything else, including the
+// work subset and the prefilter index, is shared outright), a sole
+// member drops its class, and a removed representative hands the class
+// to its next member, re-slotting the class at that member's
+// first-occurrence position so class order matches a fresh grouping.
+// The vocabulary interner is shared with the parent (it is append-only,
+// so ids stay stable across the lineage and the mention lists repair by
+// key); a predicate mentioned only by removed views may therefore still
+// resolve through LookupPred, but its ViewsMentioning list is empty and
+// it drops out of BasePreds. The result is indistinguishable from a
+// fresh CompileViews over the surviving definitions everywhere planning
+// looks: classes, work set, mention lists, and every planning Result.
 func (c *Catalog) RemoveView(name string) (*Catalog, error) {
 	vs, err := c.vs.Remove(name)
 	if err != nil {
 		return nil, err
 	}
-	keys := make([]string, 0, vs.Len())
+	idx := -1
+	var removed *views.View
 	for i, v := range c.vs.Views {
 		if v.Name() == name {
+			idx, removed = i, v
+			break
+		}
+	}
+	keys := make([]string, 0, vs.Len())
+	keys = append(keys, c.keys[:idx]...)
+	keys = append(keys, c.keys[idx+1:]...)
+
+	ci, mi := -1, -1
+	for cj, cl := range c.classes {
+		for mj, v := range cl {
+			if v == removed {
+				ci, mi = cj, mj
+				break
+			}
+		}
+		if ci >= 0 {
+			break
+		}
+	}
+
+	next := &Catalog{
+		gen:   catalogGen.Add(1),
+		vs:    vs,
+		keys:  keys,
+		vocab: c.vocab,
+	}
+	switch {
+	case mi > 0:
+		// Non-representative member: filter it from its class; class
+		// order, representatives, work, and the prefilter index are all
+		// untouched and shared.
+		classes := append([][]*views.View(nil), c.classes...)
+		cl := make([]*views.View, 0, len(c.classes[ci])-1)
+		cl = append(cl, c.classes[ci][:mi]...)
+		cl = append(cl, c.classes[ci][mi+1:]...)
+		classes[ci] = cl
+		next.classes = classes
+		next.work = c.work
+		next.workPreds = c.workPreds
+	case len(c.classes[ci]) == 1:
+		// Sole member: the class disappears; the others keep their
+		// relative first-occurrence order.
+		classes := make([][]*views.View, 0, len(c.classes)-1)
+		classes = append(classes, c.classes[:ci]...)
+		classes = append(classes, c.classes[ci+1:]...)
+		next.classes = classes
+		if err := next.rebuildWork(); err != nil {
+			return nil, err
+		}
+	default:
+		// Removed the representative of a multi-member class: the class
+		// survives headed by its next member, but a fresh grouping
+		// orders classes by first surviving occurrence, so the class
+		// re-slots at the new head's position.
+		cl := append([]*views.View(nil), c.classes[ci][1:]...)
+		pos := make(map[string]int, vs.Len())
+		for i, v := range vs.Views {
+			pos[v.Name()] = i
+		}
+		classes := make([][]*views.View, 0, len(c.classes))
+		classes = append(classes, c.classes[:ci]...)
+		rest := c.classes[ci+1:]
+		moved := pos[cl[0].Name()]
+		j := 0
+		for ; j < len(rest) && pos[rest[j][0].Name()] < moved; j++ {
+			classes = append(classes, rest[j])
+		}
+		classes = append(classes, cl)
+		classes = append(classes, rest[j:]...)
+		next.classes = classes
+		if err := next.rebuildWork(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Drop the removed view from the mention lists of exactly its body
+	// predicates, copying only the entries that change.
+	var touched []uint32
+atoms:
+	for _, a := range removed.Def.Body {
+		id, ok := c.vocab.LookupPred(a.Pred)
+		if !ok {
 			continue
 		}
-		keys = append(keys, c.keys[i])
+		for _, have := range touched {
+			if have == id {
+				continue atoms
+			}
+		}
+		touched = append(touched, id)
 	}
-	return newCatalog(vs, keys)
+	if len(touched) == 0 {
+		next.byPred = c.byPred
+		return next, nil
+	}
+	byPred := make(map[uint32][]string, len(c.byPred))
+	for id, ns := range c.byPred { //viewplan:nondet-ok copying writes disjoint keys; order is irrelevant
+		byPred[id] = ns
+	}
+	for _, id := range touched {
+		ns := byPred[id]
+		filtered := make([]string, 0, len(ns))
+		for _, n := range ns {
+			if n != name {
+				filtered = append(filtered, n)
+			}
+		}
+		if len(filtered) == 0 {
+			delete(byPred, id)
+		} else {
+			byPred[id] = filtered
+		}
+	}
+	next.byPred = byPred
+	return next, nil
+}
+
+// rebuildWork recomputes the representative subset and its prefilter
+// index from the catalog's (already repaired) classes.
+func (c *Catalog) rebuildWork() error {
+	names := make([]string, len(c.classes))
+	for i, cl := range c.classes {
+		names[i] = cl[0].Name()
+	}
+	work, err := c.vs.Subset(names)
+	if err != nil {
+		return err
+	}
+	c.work = work
+	c.workPreds = compileWorkPreds(work, c.vocab)
+	return nil
 }

@@ -42,6 +42,18 @@ type Options struct {
 	// the coordinator reassembles in deterministic order (see DESIGN.md,
 	// "Parallel search determinism").
 	Parallelism int
+	// CoverShards, when > 0, runs the scale pipeline for massive view
+	// sets: candidate views are prefiltered by predicate coverage before
+	// any homomorphism probe, the surviving probes run through pooled
+	// batch frames, and the cover search decomposes the subgoal universe
+	// into connected components searched independently on at most
+	// CoverShards workers and merged deterministically (DESIGN.md §14).
+	// The Result is byte-identical to the default pipeline at every
+	// setting — like Parallelism, CoverShards only partitions work, and
+	// like Parallelism it is excluded from plan-cache fingerprints. 0
+	// keeps the legacy single-universe search with its exact allocation
+	// profile.
+	CoverShards int
 	// Catalog, when non-nil, supplies the resident compiled view world:
 	// the run plans against the catalog's views (the vs argument of
 	// CoreCover/CoreCoverStar is ignored), reusing its precompiled
@@ -207,9 +219,14 @@ func runCold(q *cq.Query, vs *views.Set, opts Options, star bool) (*Result, erro
 	}
 	ver := r.newVerifier(vs, opts)
 	var covers [][]int
-	if star {
+	switch {
+	case star && opts.CoverShards > 0:
+		covers = cs.IrredundantCoversSharded(opts.CoverShards, opts.MaxRewritings, ver.accept(opts.Tracer))
+	case star:
 		covers = cs.IrredundantCovers(opts.MaxRewritings, ver.accept(opts.Tracer))
-	} else {
+	case opts.CoverShards > 0:
+		covers = cs.MinimumCoversSharded(opts.CoverShards, opts.MaxRewritings, ver.coverFilter(opts.Tracer, opts.MaxRewritings))
+	default:
 		covers = cs.MinimumCovers(opts.MaxRewritings, ver.coverFilter(opts.Tracer, opts.MaxRewritings))
 	}
 	sp := opts.Tracer.Start(obs.PhaseAssemble)
@@ -282,8 +299,26 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 		// sharing the immutable View objects and the work subset.
 		sp = tr.Start(obs.PhaseViewGrouping)
 		classes = make([][]*views.View, len(cat.classes))
-		for i, cl := range cat.classes {
-			classes[i] = append([]*views.View(nil), cl...)
+		if opts.CoverShards > 0 {
+			// The scale pipeline copies through one slab: at 20k views
+			// the per-class header allocations dominate the whole
+			// catalog-path prepare. Full-cap subslices keep the classes
+			// independently appendable, so the caller-facing contract is
+			// unchanged.
+			total := 0
+			for _, cl := range cat.classes {
+				total += len(cl)
+			}
+			slab := make([]*views.View, 0, total)
+			for i, cl := range cat.classes {
+				off := len(slab)
+				slab = append(slab, cl...)
+				classes[i] = slab[off:len(slab):len(slab)]
+			}
+		} else {
+			for i, cl := range cat.classes {
+				classes[i] = append([]*views.View(nil), cl...)
+			}
 		}
 		work = cat.work
 		sp.End()
@@ -304,11 +339,18 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 
 	sp = tr.Start(obs.PhaseViewTuples)
 	var tuples []views.Tuple
-	if par := opts.parallelism(); par > 1 {
+	switch par := opts.parallelism(); {
+	case opts.CoverShards > 0 && par > 1:
+		fan := tr.Start(obs.PhaseParallelFanout)
+		tuples = views.ComputeTuplesBatched(minQ, work, par, candidateFilter(minQ, work, opts.Catalog))
+		fan.End()
+	case opts.CoverShards > 0:
+		tuples = views.ComputeTuplesBatched(minQ, work, 1, candidateFilter(minQ, work, opts.Catalog))
+	case par > 1:
 		fan := tr.Start(obs.PhaseParallelFanout)
 		tuples = views.ComputeTuplesN(minQ, work, par)
 		fan.End()
-	} else {
+	default:
 		tuples = views.ComputeTuples(minQ, work)
 	}
 	sp.End()
@@ -358,6 +400,46 @@ func prepare(q *cq.Query, vs *views.Set, opts Options) (*Result, *coverSearch, e
 		cs.sets[i] = c.Core.Covered // empty cores never help the cover
 	}
 	return r, cs, nil
+}
+
+// candidateFilter returns the predicate-coverage test the batched tuple
+// computation prefilters views with: a view can contribute tuples only
+// when every predicate of its body occurs in the minimized query's body
+// (the canonical database has no other facts, so the kernel's compile
+// would fail anyway — the filter just skips the per-view kernel setup).
+// When the run plans against a catalog's representative subset, the
+// test runs over the catalog's precompiled interned id lists; otherwise
+// over a per-run name set.
+func candidateFilter(minQ *cq.Query, work *views.Set, cat *Catalog) func(int) bool {
+	if cat != nil && work == cat.work {
+		inQ := make([]bool, cat.vocab.NumPreds())
+		for _, a := range minQ.Body {
+			if id, ok := cat.vocab.LookupPred(a.Pred); ok {
+				inQ[id] = true
+			}
+		}
+		preds := cat.workPreds
+		return func(i int) bool {
+			for _, id := range preds[i] {
+				if !inQ[id] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	inQ := make(map[string]bool, len(minQ.Body))
+	for _, a := range minQ.Body {
+		inQ[a.Pred] = true
+	}
+	return func(i int) bool {
+		for _, a := range work.Views[i].Def.Body {
+			if !inQ[a.Pred] {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // verifier checks candidate covers against the query and caches the

@@ -1,0 +1,483 @@
+// Sharded cover search: the cover family decomposed over the connected
+// components of the query's subgoal universe.
+//
+// Two tuple-cores interact in a cover search only when they overlap:
+// the dominance prune, the irredundance check, and the lowest-missing-
+// element descent all factor over disjoint sub-universes. Closing the
+// universe under set overlap therefore splits the family into
+// independent components that can be searched concurrently — each with
+// a small, dense local set numbering, so per-shard coverID dedup stays
+// in the packed uint64 fast path even when the global family is large —
+// and the per-component results merge back into exactly the sequential
+// enumeration. The determinism argument is spelled out in DESIGN.md
+// §14; in short:
+//
+//   - MinimumCovers: coversOfSize(k) emits exactly the "progressive"
+//     k-covers (each chosen set, in increasing index order, adds a new
+//     universe element) in lex order of their sorted index sequences.
+//     Progressivity factors over components, so the global level-k
+//     candidates are the unions of per-component progressive covers
+//     with sizes summing to k, sorted lexicographically.
+//   - IrredundantCovers: the sequential DFS descends on the globally
+//     lowest missing element, which is always the lowest missing
+//     element of its own component. A global discovery path is
+//     therefore a deterministic interleave of per-component discovery
+//     paths, the interleave is lex-monotone in each component, and
+//     first-discovery order of merged covers is the lex order of the
+//     interleaved first-discovery paths — which the merge reconstructs
+//     by simulation, without re-running the search.
+//
+// Sets must be subsets of the universe (prepare guarantees this: cores
+// are covered-subgoal sets of the minimized query); decompose masks
+// defensively.
+package corecover
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"viewplan/internal/obs"
+)
+
+// shardComponent is one connected component of the cover family: a
+// sub-universe closed under set overlap, the sets that live wholly in
+// it (ascending global index order), and the dense local numbering the
+// per-shard searches run on.
+type shardComponent struct {
+	mask   SubgoalSet
+	sets   []SubgoalSet
+	global []int // local set index -> global set index
+
+	// bySize memoizes the component's progressive k-covers across size
+	// levels of MinimumCoversSharded, as sorted global index slices in
+	// local enumeration (= lex) order. Written only by the coordinator.
+	bySize map[int][][]int
+}
+
+// maxSize is the component analog of MinimumCovers' level bound.
+func (c *shardComponent) maxSize() int {
+	n := c.mask.Count()
+	if len(c.sets) < n {
+		n = len(c.sets)
+	}
+	return n
+}
+
+// coverShards is one decomposed search: the components in ascending
+// lowest-element order plus the element -> component index map the
+// merge simulation routes on.
+type coverShards struct {
+	comps []*shardComponent
+	owner [MaxSubgoals]int
+}
+
+// decompose partitions the universe into connected components under
+// set-overlap closure. It returns nil when some universe element lies
+// in no set — then no cover exists, exactly the legacy coverable()
+// bailout.
+func (cs *coverSearch) decompose() *coverShards {
+	elems := cs.universe.Elements()
+	var parent [MaxSubgoals]int
+	for _, e := range elems {
+		parent[e] = e
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var covered SubgoalSet
+	for _, s := range cs.sets {
+		s = s.Intersect(cs.universe)
+		if s.IsEmpty() {
+			continue
+		}
+		covered = covered.Union(s)
+		first := s.Lowest()
+		for _, e := range elems {
+			if s.Has(e) && e != first {
+				ra, rb := find(first), find(e)
+				if ra != rb {
+					if rb < ra {
+						ra, rb = rb, ra
+					}
+					parent[rb] = ra
+				}
+			}
+		}
+	}
+	if !covered.Covers(cs.universe) {
+		return nil
+	}
+	sh := &coverShards{}
+	rootComp := make([]int, MaxSubgoals)
+	for i := range rootComp {
+		rootComp[i] = -1
+	}
+	for _, e := range elems { // ascending, so components order by lowest element
+		r := find(e)
+		ci := rootComp[r]
+		if ci < 0 {
+			ci = len(sh.comps)
+			rootComp[r] = ci
+			sh.comps = append(sh.comps, &shardComponent{bySize: make(map[int][][]int)})
+		}
+		sh.owner[e] = ci
+		sh.comps[ci].mask = sh.comps[ci].mask.With(e)
+	}
+	for gi, s := range cs.sets {
+		s = s.Intersect(cs.universe)
+		if s.IsEmpty() {
+			continue // never chosen by either search; belongs to no component
+		}
+		c := sh.comps[sh.owner[s.Lowest()]]
+		c.sets = append(c.sets, s)
+		c.global = append(c.global, gi)
+	}
+	return sh
+}
+
+// runShardTasks fans n independent tasks out across at most shards
+// workers, inline when the bound (or the task count) is 1. Workers
+// claim indexes from an atomic counter and must write only into
+// index-addressed state of their own task.
+func runShardTasks(n, shards int, task func(i int)) {
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// lexLess orders distinct int slices lexicographically. Sequences
+// compared here are never prefixes of one another (covers at one size
+// level share a length; discovery paths stop exactly at coverage).
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// MinimumCoversSharded is MinimumCovers over the decomposed family,
+// with per-component size levels searched on at most shards workers.
+// The returned covers — and every filter invocation — are
+// byte-identical to the sequential search at any shard count.
+func (cs *coverSearch) MinimumCoversSharded(shards, maxCovers int, filter func([][]int) [][]int) [][]int {
+	//viewplan:tracer-field-ok once-per-search load at phase entry; the field batches per-node counters (see the struct comment)
+	sp := cs.tracer.Start(obs.PhaseCoverSearch)
+	defer sp.End()
+	defer cs.publish()
+	if cs.universe.IsEmpty() {
+		return [][]int{{}}
+	}
+	sh := cs.decompose()
+	if sh == nil {
+		return nil
+	}
+	//viewplan:tracer-field-ok once-per-search counter, outside the descent
+	cs.tracer.Add(obs.CtrCoverShards, int64(len(sh.comps)))
+	maxSize := cs.universe.Count()
+	if len(cs.sets) < maxSize {
+		maxSize = len(cs.sets)
+	}
+	need := cs.universe.Count()
+	k0 := (need + cs.maxCoverage() - 1) / cs.maxCoverage()
+	m := len(sh.comps)
+	if k0 < m {
+		k0 = m // every component needs at least one set
+	}
+	for k := k0; k <= maxSize; k++ {
+		cs.fillSizes(sh, k, shards)
+		covers := sh.mergeLevel(k)
+		cs.st.found += int64(len(covers))
+		if filter != nil {
+			covers = filter(covers)
+		}
+		if maxCovers > 0 && len(covers) > maxCovers {
+			covers = covers[:maxCovers]
+		}
+		if len(covers) > 0 {
+			return covers
+		}
+	}
+	return nil
+}
+
+// fillSizes computes, in parallel, every per-component size level the
+// level-k merge may consume and is not memoized yet. Results land in
+// index-addressed slots; the coordinator owns the memo maps and the
+// stat tallies.
+func (cs *coverSearch) fillSizes(sh *coverShards, k, shards int) {
+	type task struct{ c, size int }
+	m := len(sh.comps)
+	var tasks []task
+	for ci, comp := range sh.comps {
+		hi := k - (m - 1) // the other components consume at least one set each
+		if mk := comp.maxSize(); hi > mk {
+			hi = mk
+		}
+		for size := 1; size <= hi; size++ {
+			if _, done := comp.bySize[size]; !done {
+				tasks = append(tasks, task{ci, size})
+			}
+		}
+	}
+	results := make([][][]int, len(tasks))
+	stats := make([]searchStats, len(tasks))
+	runShardTasks(len(tasks), shards, func(i int) {
+		t := tasks[i]
+		comp := sh.comps[t.c]
+		local := &coverSearch{universe: comp.mask, sets: comp.sets}
+		covers := local.coversOfSize(t.size, 0)
+		for _, cov := range covers {
+			for j, li := range cov {
+				cov[j] = comp.global[li] // ascending map: lex order survives
+			}
+		}
+		results[i] = covers
+		stats[i] = local.st
+	})
+	for i, t := range tasks {
+		sh.comps[t.c].bySize[t.size] = results[i]
+		cs.st.nodes += stats[i].nodes
+		cs.st.pruned += stats[i].pruned
+	}
+}
+
+// mergeLevel reassembles the global level-k candidates: every choice of
+// per-component sizes summing to k, crossed over the memoized
+// per-component covers, merged and sorted into the sequential
+// enumeration order.
+func (sh *coverShards) mergeLevel(k int) [][]int {
+	m := len(sh.comps)
+	var out [][]int
+	sizes := make([]int, m)
+	parts := make([][]int, m)
+	var cross func(ci int)
+	cross = func(ci int) {
+		if ci == m {
+			merged := make([]int, 0, k)
+			for _, p := range parts {
+				merged = append(merged, p...)
+			}
+			sort.Ints(merged)
+			out = append(out, merged)
+			return
+		}
+		for _, cov := range sh.comps[ci].bySize[sizes[ci]] {
+			parts[ci] = cov
+			cross(ci + 1)
+		}
+	}
+	var pick func(ci, remaining int)
+	pick = func(ci, remaining int) {
+		if ci == m {
+			if remaining == 0 {
+				cross(0)
+			}
+			return
+		}
+		hi := remaining - (m - 1 - ci)
+		if mk := sh.comps[ci].maxSize(); hi > mk {
+			hi = mk
+		}
+		for size := 1; size <= hi; size++ {
+			if len(sh.comps[ci].bySize[size]) == 0 {
+				continue
+			}
+			sizes[ci] = size
+			pick(ci+1, remaining-size)
+		}
+	}
+	pick(0, k)
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	return out
+}
+
+// shardCover is one locally-enumerated irredundant cover: the sorted
+// global cover and the global-index discovery path that found it first,
+// which drives the cross-component merge order.
+type shardCover struct {
+	cover []int
+	path  []int
+}
+
+// IrredundantCoversSharded is IrredundantCovers over the decomposed
+// family: per-component discovery enumerations on at most shards
+// workers, then accept calls in exactly the sequential first-discovery
+// order with the same cap semantics.
+func (cs *coverSearch) IrredundantCoversSharded(shards, maxCovers int, accept func([]int) bool) [][]int {
+	//viewplan:tracer-field-ok once-per-search load at phase entry; the field batches per-node counters (see the struct comment)
+	sp := cs.tracer.Start(obs.PhaseCoverSearch)
+	defer sp.End()
+	defer cs.publish()
+	if cs.universe.IsEmpty() {
+		return [][]int{{}}
+	}
+	sh := cs.decompose()
+	if sh == nil {
+		return nil
+	}
+	//viewplan:tracer-field-ok once-per-search counter, outside the descent
+	cs.tracer.Add(obs.CtrCoverShards, int64(len(sh.comps)))
+	perComp := make([][]shardCover, len(sh.comps))
+	stats := make([]searchStats, len(sh.comps))
+	runShardTasks(len(sh.comps), shards, func(ci int) {
+		perComp[ci], stats[ci] = sh.comps[ci].irredundantCovers()
+	})
+	for ci := range stats {
+		cs.st.nodes += stats[ci].nodes
+		cs.st.pruned += stats[ci].pruned
+		if len(perComp[ci]) == 0 {
+			perComp = nil // some component admits no irredundant cover
+			break
+		}
+	}
+	if perComp == nil {
+		return nil
+	}
+	combos := sh.crossCombos(perComp, cs.sets)
+	sort.Slice(combos, func(i, j int) bool { return lexLess(combos[i].path, combos[j].path) })
+	var out [][]int
+	for _, c := range combos {
+		cs.st.found++
+		if accept != nil && !accept(c.cover) {
+			continue
+		}
+		out = append(out, c.cover)
+		if maxCovers > 0 && len(out) >= maxCovers {
+			break
+		}
+	}
+	return out
+}
+
+// irredundantCovers enumerates the component's locally-irredundant
+// covers in first-discovery order of the lowest-missing-element DFS,
+// deduplicated by dense local coverID (the per-shard ids stay in the
+// packed fast path however large the global family is). Irredundance is
+// checked against the component mask, which equals global irredundance:
+// components share no elements, so a set's private element can only be
+// contested by sets of its own component.
+func (c *shardComponent) irredundantCovers() ([]shardCover, searchStats) {
+	local := &coverSearch{universe: c.mask, sets: c.sets}
+	seen := make(map[coverID]struct{})
+	var out []shardCover
+	chosen := make([]int, 0, len(c.sets))
+	var rec func(covered SubgoalSet)
+	rec = func(covered SubgoalSet) {
+		local.st.nodes++
+		if covered.Covers(c.mask) {
+			if !local.irredundant(chosen) {
+				local.st.pruned++
+				return
+			}
+			key := coverIDOf(chosen)
+			if _, dup := seen[key]; dup {
+				return
+			}
+			seen[key] = struct{}{}
+			cover := make([]int, len(chosen))
+			path := make([]int, len(chosen))
+			for i, li := range chosen {
+				cover[i] = c.global[li]
+				path[i] = c.global[li]
+			}
+			sort.Ints(cover)
+			out = append(out, shardCover{cover: cover, path: path})
+			return
+		}
+		e := covered.LowestMissing(c.mask)
+		for i, s := range c.sets {
+			if !s.Has(e) || contains(chosen, i) {
+				continue
+			}
+			chosen = append(chosen, i)
+			rec(covered.Union(s))
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0)
+	return out, local.st
+}
+
+// shardCombo is one merged global cover with its reconstructed global
+// discovery path.
+type shardCombo struct {
+	cover []int
+	path  []int
+}
+
+// crossCombos crosses the per-component covers into every global cover,
+// merging each part tuple's sorted indexes and simulating the global
+// DFS choice order: at each step the next choice comes from the
+// component owning the globally lowest missing element.
+func (sh *coverShards) crossCombos(perComp [][]shardCover, sets []SubgoalSet) []shardCombo {
+	m := len(sh.comps)
+	universe := SubgoalSet(0)
+	for _, c := range sh.comps {
+		universe = universe.Union(c.mask)
+	}
+	var out []shardCombo
+	parts := make([]*shardCover, m)
+	var cross func(ci int)
+	cross = func(ci int) {
+		if ci == m {
+			total := 0
+			for _, p := range parts {
+				total += len(p.cover)
+			}
+			cover := make([]int, 0, total)
+			for _, p := range parts {
+				cover = append(cover, p.cover...)
+			}
+			sort.Ints(cover)
+			pos := make([]int, m)
+			path := make([]int, 0, total)
+			covered := SubgoalSet(0)
+			for !covered.Covers(universe) {
+				e := covered.LowestMissing(universe)
+				oi := sh.owner[e]
+				gi := parts[oi].path[pos[oi]]
+				pos[oi]++
+				covered = covered.Union(sets[gi])
+				path = append(path, gi)
+			}
+			out = append(out, shardCombo{cover: cover, path: path})
+			return
+		}
+		for i := range perComp[ci] {
+			parts[ci] = &perComp[ci][i]
+			cross(ci + 1)
+		}
+	}
+	cross(0)
+	return out
+}

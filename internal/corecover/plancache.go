@@ -67,16 +67,40 @@ type cacheEntry struct {
 	tpl  *entryTemplate
 }
 
+// planCacheStripes is the lock-stripe count of a large PlanCache. Keys
+// spread across stripes by a hash of their canonical form, so
+// concurrent planners contend on one stripe's mutex instead of a single
+// global lock.
+const planCacheStripes = 8
+
+// planCacheStripeMin is the smallest capacity that stripes. Below it
+// the cache keeps one stripe: per-stripe capacities under ~8 entries
+// make hash imbalance dominate, and a single stripe preserves the exact
+// global LRU order the small-cache tests (and tuning intuition) rely
+// on. At or above it, eviction is LRU within each stripe — the
+// capacity bound still holds exactly (stripe capacities sum to the
+// cache capacity), only the victim choice is per-stripe.
+const planCacheStripeMin = 64
+
 // PlanCache is a size-bounded concurrent memo of planning Results,
 // shared by any number of goroutines planning against the same resident
-// Catalog. Eviction is LRU. The zero capacity stores nothing (every
-// lookup misses), which keeps capacity a pure tuning knob.
+// Catalog. Eviction is LRU (global below planCacheStripeMin, per-stripe
+// above — see planCacheStripeMin). The zero capacity stores nothing
+// (every lookup misses), which keeps capacity a pure tuning knob.
 //
 // Counters are ticked on the per-run Tracer only, never on obs.Global:
 // a registry fed by per-request snapshots then reconciles exactly with
 // the sum of those snapshots even under concurrent mutation (the
-// registry invariant the service soak test asserts).
+// registry invariant the service soak tests assert, for both the
+// single-stripe and the striped configuration).
 type PlanCache struct {
+	cap     int
+	stripes []planStripe
+}
+
+// planStripe is one independently locked segment: its own map, its own
+// LRU list, its own share of the capacity.
+type planStripe struct {
 	mu  sync.Mutex
 	cap int
 	m   map[planKey]*list.Element
@@ -91,8 +115,21 @@ type lruNode struct {
 // NewPlanCache returns a plan cache bounded to capacity entries.
 // capacity <= 0 yields a cache that stores nothing.
 func NewPlanCache(capacity int) *PlanCache {
-	c := &PlanCache{cap: capacity, m: make(map[planKey]*list.Element)}
-	c.lru.Init()
+	n := 1
+	if capacity >= planCacheStripeMin {
+		n = planCacheStripes
+	}
+	c := &PlanCache{cap: capacity, stripes: make([]planStripe, n)}
+	base, extra := capacity/n, capacity%n
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.cap = base
+		if i < extra {
+			s.cap++
+		}
+		s.m = make(map[planKey]*list.Element)
+		s.lru.Init()
+	}
 	return c
 }
 
@@ -109,48 +146,78 @@ func (c *PlanCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// lookup returns the entry for key, marking it most recently used.
+// stripeFor picks the key's stripe: FNV-1a over the canonical form,
+// mixed with the catalog generation. Alloc-free — the hit path's
+// allocation budget is gated.
+func (c *PlanCache) stripeFor(key planKey) *planStripe {
+	if len(c.stripes) == 1 {
+		return &c.stripes[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.canon); i++ {
+		h ^= uint64(key.canon[i])
+		h *= prime64
+	}
+	h ^= key.gen
+	h *= prime64
+	return &c.stripes[h%uint64(len(c.stripes))]
+}
+
+// lookup returns the entry for key, marking it most recently used
+// within its stripe.
 func (c *PlanCache) lookup(key planKey) *cacheEntry {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[key]
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
 	if !ok {
 		return nil
 	}
-	c.lru.MoveToFront(el)
+	s.lru.MoveToFront(el)
 	return el.Value.(*lruNode).ent
 }
 
-// insert stores an entry, evicting the least recently used plan when
-// over capacity. Two goroutines racing to insert the same key (both
-// missed, both planned) keep the first entry: planning is deterministic,
-// so both hold equivalent results and replacing would only churn the LRU
-// list. Evictions tick CtrPlanCacheEvict on tr (nil-safe).
+// insert stores an entry, evicting the stripe's least recently used
+// plan when the stripe is over its share of the capacity. Two
+// goroutines racing to insert the same key (both missed, both planned)
+// keep the first entry: planning is deterministic, so both hold
+// equivalent results and replacing would only churn the LRU list.
+// Evictions tick CtrPlanCacheEvict on tr (nil-safe).
 func (c *PlanCache) insert(key planKey, ent *cacheEntry, tr *obs.Tracer) {
 	if c == nil || c.cap <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.m[key]; ok {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; ok {
 		return
 	}
-	c.m[key] = c.lru.PushFront(&lruNode{key: key, ent: ent})
-	for len(c.m) > c.cap {
-		back := c.lru.Back()
+	s.m[key] = s.lru.PushFront(&lruNode{key: key, ent: ent})
+	for len(s.m) > s.cap {
+		back := s.lru.Back()
 		if back == nil {
 			break
 		}
-		c.lru.Remove(back)
-		delete(c.m, back.Value.(*lruNode).key)
+		s.lru.Remove(back)
+		delete(s.m, back.Value.(*lruNode).key)
 		tr.Add(obs.CtrPlanCacheEvict, 1)
 	}
 }

@@ -322,3 +322,56 @@ func FuzzPlanCacheAlphaRenaming(f *testing.F) {
 		}
 	})
 }
+
+// TestPlanCacheStripedCapacityAndEvictions pins the striped
+// configuration's exact accounting: capacity >= planCacheStripeMin
+// stripes the cache, the capacity bound still holds, and — since a
+// single-threaded run stores every missed key exactly once — the evict
+// ticks must equal stored keys minus resident entries, with no slack.
+func TestPlanCacheStripedCapacityAndEvictions(t *testing.T) {
+	_, cat := cacheFixture(t)
+	cache := NewPlanCache(planCacheStripeMin)
+	if len(cache.stripes) != planCacheStripes {
+		t.Fatalf("capacity %d built %d stripes, want %d",
+			planCacheStripeMin, len(cache.stripes), planCacheStripes)
+	}
+	if cache.Capacity() != planCacheStripeMin {
+		t.Fatalf("Capacity = %d, want %d", cache.Capacity(), planCacheStripeMin)
+	}
+	perStripe := 0
+	for i := range cache.stripes {
+		perStripe += cache.stripes[i].cap
+	}
+	if perStripe != planCacheStripeMin {
+		t.Fatalf("stripe capacities sum to %d, want %d", perStripe, planCacheStripeMin)
+	}
+
+	const distinct = 150 // > capacity, so some stripe must evict
+	var evicts int64
+	for i := 0; i < distinct; i++ {
+		q := cq.MustParseQuery("q(A) :- e0(A, k" + itoa(i) + ")")
+		tr := obs.New()
+		if _, err := CoreCover(q, nil, Options{Parallelism: 1, Catalog: cat, Cache: cache, Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Counter(obs.CtrPlanCacheMiss) != 1 {
+			t.Fatalf("query %d was not a clean miss", i)
+		}
+		evicts += tr.Counter(obs.CtrPlanCacheEvict)
+	}
+	if cache.Len() > planCacheStripeMin {
+		t.Fatalf("cache holds %d entries, capacity %d", cache.Len(), planCacheStripeMin)
+	}
+	if evicts == 0 {
+		t.Fatal("150 distinct keys over capacity 64 never evicted")
+	}
+	if want := int64(distinct - cache.Len()); evicts != want {
+		t.Fatalf("evictions do not reconcile: %d ticks, stored %d - resident %d = %d",
+			evicts, distinct, cache.Len(), want)
+	}
+
+	// Below the threshold the cache keeps one stripe (exact global LRU).
+	if small := NewPlanCache(planCacheStripeMin - 1); len(small.stripes) != 1 {
+		t.Fatalf("capacity %d built %d stripes, want 1", planCacheStripeMin-1, len(small.stripes))
+	}
+}

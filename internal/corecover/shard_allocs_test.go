@@ -1,0 +1,43 @@
+//go:build !race
+
+// Excluded under -race: the race detector's instrumentation allocates,
+// so AllocsPerRun counts would gate instrumentation, not the planner.
+package corecover
+
+import (
+	"testing"
+
+	"viewplan/internal/workload"
+)
+
+// TestShardMergeAllocs is the allocation regression gate for the
+// shard-merge path: planning a fixed chain instance inline
+// (Parallelism 1) with CoverShards=1 must stay within a checked-in
+// allocation ceiling, so the decompose/fill/merge machinery cannot
+// silently grow per-plan garbage.
+func TestShardMergeAllocs(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{
+		Shape:         workload.Chain,
+		QuerySubgoals: 6,
+		NumViews:      12,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Parallelism: 1, CoverShards: 1}
+	if _, err := CoreCover(inst.Query, inst.Views, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := CoreCover(inst.Query, inst.Views, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured 730 allocs/op on go1.24; the ceiling leaves ~10% headroom.
+	const ceiling = 810
+	if allocs > ceiling {
+		t.Fatalf("sharded inline plan allocated %.0f allocs/op, ceiling %d", allocs, ceiling)
+	}
+	t.Logf("sharded inline plan: %.0f allocs/op", allocs)
+}

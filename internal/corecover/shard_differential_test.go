@@ -1,0 +1,97 @@
+package corecover
+
+import (
+	"testing"
+)
+
+// TestDifferentialShardedMatchesSequential asserts the scale-pipeline
+// determinism guarantee on the full corpus: for every instance, the
+// sharded cover search (component decomposition + deterministic merge,
+// batched probes, candidate prefilter) produces byte-identical Results
+// to the legacy sequential planner at every CoverShards setting, both
+// inline (Parallelism 1) and under fanout, for CoreCover and
+// CoreCover*.
+func TestDifferentialShardedMatchesSequential(t *testing.T) {
+	par := testParallelism(t)
+	for _, inst := range diffCorpus(t) {
+		seq, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqStar, err := CoreCoverStar(inst.Query, inst.Views, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4, 16} {
+			for _, p := range []int{1, par} {
+				opts := Options{Parallelism: p, CoverShards: shards}
+				got, err := CoreCover(inst.Query, inst.Views, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireResultsEqual(t, "CoreCover sharded "+inst.Query.String(), seq, got)
+
+				gotStar, err := CoreCoverStar(inst.Query, inst.Views, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireResultsEqual(t, "CoreCoverStar sharded "+inst.Query.String(), seqStar, gotStar)
+			}
+		}
+
+		// A rewriting cap must truncate the same deterministic prefix
+		// the legacy search truncates.
+		seqCap, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: 1, MaxRewritings: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCap, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: par, CoverShards: 4, MaxRewritings: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsEqual(t, "CoreCover(max=1) sharded "+inst.Query.String(), seqCap, gotCap)
+	}
+}
+
+// TestDifferentialShardedCatalogMatchesSequential runs the same
+// byte-identity check through a compiled Catalog, which is the path the
+// scale pipeline actually serves: the candidate prefilter tests interned
+// predicate ids against Catalog.workPreds instead of string sets, and
+// prepare copies the resident classes through a single slab.
+func TestDifferentialShardedCatalogMatchesSequential(t *testing.T) {
+	par := testParallelism(t)
+	corpus := diffCorpus(t)
+	for n, inst := range corpus {
+		if n%5 != 0 { // catalog compilation is the dominant cost; a fifth of the corpus is plenty
+			continue
+		}
+		cat, err := CompileViews(inst.Views, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := CoreCover(inst.Query, inst.Views, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqStar, err := CoreCoverStar(inst.Query, inst.Views, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 16} {
+			for _, p := range []int{1, par} {
+				opts := Options{Parallelism: p, CoverShards: shards, Catalog: cat}
+				got, err := CoreCover(inst.Query, nil, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireResultsEqual(t, "CoreCover sharded catalog "+inst.Query.String(), seq, got)
+
+				gotStar, err := CoreCoverStar(inst.Query, nil, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireResultsEqual(t, "CoreCoverStar sharded catalog "+inst.Query.String(), seqStar, gotStar)
+			}
+		}
+	}
+}

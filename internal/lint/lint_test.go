@@ -88,3 +88,12 @@ func TestDirectiveRequiresReason(t *testing.T) {
 		t.Errorf("got %d unsuppressed analyzer findings, want 0 (directive suppresses, its own finding fails the run)", unsuppressed)
 	}
 }
+
+// TestInternMixShardIndexes pins the sharded cover search's index
+// discipline: shard-local dense subgoal indexes and their local-to-
+// global remapping are plain positional integers the analyzer stays
+// silent on, while catalog-interned predicate ids (the candidate
+// prefilter's currency) remain guarded across catalog generations.
+func TestInternMixShardIndexes(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.InternMix, "internmix_shard")
+}

@@ -141,6 +141,14 @@ const (
 	// body or built-in comparisons) or uses the planner's reserved
 	// variable namespace.
 	CtrPlanCacheBypass
+	// CtrCoverShards counts the connected universe components the
+	// sharded cover search decomposed a run's cover family into
+	// (Options.CoverShards > 0; the legacy undecomposed search never
+	// ticks it).
+	CtrCoverShards
+	// CtrBatchedProbes counts view-tuple homomorphism probes evaluated
+	// through a pooled batch frame instead of a per-view kernel setup.
+	CtrBatchedProbes
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -177,6 +185,8 @@ var counterNames = [NumCounters]string{
 	CtrPlanCacheMiss:      "plan_cache_misses",
 	CtrPlanCacheEvict:     "plan_cache_evictions",
 	CtrPlanCacheBypass:    "plan_cache_bypass",
+	CtrCoverShards:        "cover_shards",
+	CtrBatchedProbes:      "batched_probes",
 }
 
 // String returns the counter's snake_case snapshot key.

@@ -28,6 +28,12 @@ type Config struct {
 	// Parallelism is passed through to every planning run (0 =
 	// GOMAXPROCS, 1 = sequential).
 	Parallelism int
+	// CoverShards switches every planning run onto the sharded cover
+	// search (candidate prefilter, batched probes, component-decomposed
+	// cover enumeration — the large-catalog pipeline). 0 keeps the
+	// legacy planner. Results are byte-identical either way; see
+	// viewplan.Options.CoverShards.
+	CoverShards int
 }
 
 // Server is a resident planner. One compiled catalog is shared by all
@@ -37,9 +43,10 @@ type Config struct {
 // world. The plan cache is shared across generations — its keys embed
 // the catalog generation, so a swap invalidates without purging.
 type Server struct {
-	reg   *obs.Registry
-	cache *viewplan.PlanCache
-	par   int
+	reg    *obs.Registry
+	cache  *viewplan.PlanCache
+	par    int
+	shards int
 
 	// mu serializes AddView/RemoveView so concurrent mutations chain
 	// (each starts from the other's result) instead of racing the swap
@@ -93,6 +100,7 @@ func New(cfg Config) (*Server, error) {
 		reg:       viewplan.NewRegistry(),
 		cache:     viewplan.NewPlanCache(cfg.CacheSize),
 		par:       cfg.Parallelism,
+		shards:    cfg.CoverShards,
 		renderCap: 4 * int64(cfg.CacheSize),
 	}
 	s.cat.Store(cat)
@@ -164,6 +172,7 @@ func (s *Server) Plan(req PlanRequest) (*PlanResponse, error) {
 	tr := viewplan.NewTracer()
 	opts := viewplan.Options{
 		Parallelism: s.par,
+		CoverShards: s.shards,
 		Tracer:      tr,
 		Catalog:     cat,
 		Cache:       s.cache,

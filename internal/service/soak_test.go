@@ -61,6 +61,22 @@ func soakQuery(i int) string {
 }
 
 func TestServiceSoakCountersReconcile(t *testing.T) {
+	// A deliberately tight cache: fresh queries keep evicting, so the
+	// eviction counter is exercised, not just hits and misses. Capacity 8
+	// is below the cache's striping threshold, so this soaks the
+	// single-stripe (exact global LRU) configuration.
+	runCacheSoak(t, 8, 24)
+}
+
+func TestServiceSoakStripedCacheReconciles(t *testing.T) {
+	// Capacity 64 stripes the cache into 8 independently locked
+	// segments. The soak issues ~100 distinct keys, so by pigeonhole at
+	// least one stripe overflows its share and evicts — the counters
+	// must still reconcile exactly.
+	runCacheSoak(t, 64, 24)
+}
+
+func runCacheSoak(t *testing.T, cacheSize, perWork int) {
 	inst, err := workload.Generate(workload.Config{
 		Shape:         workload.Star,
 		QuerySubgoals: 6,
@@ -70,16 +86,13 @@ func TestServiceSoakCountersReconcile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A deliberately tight cache: fresh queries keep evicting, so the
-	// eviction counter is exercised, not just hits and misses.
-	srv, err := service.New(service.Config{Views: inst.Views, CacheSize: 8, Parallelism: 1})
+	srv, err := service.New(service.Config{Views: inst.Views, CacheSize: cacheSize, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	const (
 		workers = 8
-		perWork = 24
 		hotSet  = 4 // queries 0..3 repeat; the rest are fresh per worker
 	)
 	var (
@@ -148,7 +161,7 @@ func TestServiceSoakCountersReconcile(t *testing.T) {
 		return
 	}
 
-	const total = workers * perWork
+	total := int64(workers * perWork)
 	reg := srv.Registry()
 	if got := reg.Requests(); got != total {
 		t.Fatalf("Requests = %d, want %d", got, total)

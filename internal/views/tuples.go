@@ -108,6 +108,67 @@ func ComputeTuplesN(q *cq.Query, s *Set, parallelism int) []Tuple {
 	return out
 }
 
+// ComputeTuplesBatched computes T(Q, V) with the two optimizations the
+// sharded planner runs on for massive view sets. Views for which
+// candidate reports false are skipped outright — callers pass a
+// predicate-coverage test (a view whose body mentions a predicate the
+// minimized query never uses has no homomorphism into the canonical
+// database, so it contributes no tuples), turning the per-view kernel
+// setup for 20k mostly-irrelevant views into a bitmap check each. The
+// surviving candidates are probed through one pooled batch frame per
+// worker (containment.BatchProber) instead of a pool round-trip per
+// view. A nil candidate probes every view.
+//
+// The output is identical to ComputeTuplesN's for any sound candidate
+// function: skipped views contribute no tuples there either, per-view
+// enumeration order is unchanged, and per-view slices concatenate in
+// view order.
+func ComputeTuplesBatched(q *cq.Query, s *Set, parallelism int, candidate func(i int) bool) []Tuple {
+	db := containment.FreezeQuery(q)
+	cands := make([]int, 0, len(s.Views))
+	for i := range s.Views {
+		if candidate == nil || candidate(i) {
+			cands = append(cands, i)
+		}
+	}
+	if parallelism > len(cands) {
+		parallelism = len(cands)
+	}
+	if parallelism <= 1 {
+		p := containment.NewBatchProber(db)
+		var out []Tuple
+		for _, i := range cands {
+			out = appendViewTuplesBatch(out, db, p, s.Views[i])
+		}
+		p.Close()
+		return out
+	}
+	perView := make([][]Tuple, len(cands))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := containment.NewBatchProber(db)
+			defer p.Close()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				perView[i] = appendViewTuplesBatch(nil, db, p, s.Views[cands[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Tuple
+	for _, ts := range perView {
+		out = append(out, ts...)
+	}
+	return out
+}
+
 // appendViewTuples appends one view's deduplicated tuples to dst.
 // Duplicates can only arise within a single view (distinct views yield
 // distinct Tuple.View pointers), so deduplication scans only the entries
@@ -130,6 +191,32 @@ func appendViewTuples(dst []Tuple, db *containment.CanonicalDB, v *View) []Tuple
 				}
 			}
 			return true // duplicate of an earlier homomorphism's answer
+		}
+		kept = append(kept, append([]cq.Term(nil), frozen...))
+		args := make([]cq.Term, len(frozen))
+		for i, t := range frozen {
+			args[i] = db.ThawTerm(t)
+		}
+		dst = append(dst, Tuple{View: v, Atom: cq.Atom{Pred: v.Def.Head.Pred, Args: args}})
+		return true
+	})
+	return dst
+}
+
+// appendViewTuplesBatch is appendViewTuples through a batch prober: the
+// same per-view dedup-in-frozen-form and thaw-on-keep, with the
+// homomorphism search running in the prober's claimed frame.
+func appendViewTuplesBatch(dst []Tuple, db *containment.CanonicalDB, p *containment.BatchProber, v *View) []Tuple {
+	var kept [][]cq.Term
+	p.Evaluate(v.Def, func(frozen []cq.Term) bool {
+	candidates:
+		for _, prev := range kept {
+			for i := range frozen {
+				if prev[i] != frozen[i] {
+					continue candidates
+				}
+			}
+			return true
 		}
 		kept = append(kept, append([]cq.Term(nil), frozen...))
 		args := make([]cq.Term, len(frozen))

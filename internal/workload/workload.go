@@ -116,6 +116,42 @@ func Generate(cfg Config) (*Instance, error) {
 
 func relName(i int) string { return "e" + strconv.Itoa(i) }
 
+// ScaleVocab returns the base-relation vocabulary size the scale
+// benchmarks pair with a catalog of numViews views. Small catalogs keep
+// the 16-relation Fig. 6a vocabulary (so BENCH_service.json's default
+// 200-view world is unchanged); larger catalogs widen the vocabulary so
+// views spread over many relations the query never mentions — the
+// realistic large-deployment shape, and the one the sharded planner's
+// candidate prefilter is built for. With a fixed vocabulary, 20k views
+// would just be 20k near-duplicates of the same few definitions.
+func ScaleVocab(numViews int) int {
+	switch {
+	case numViews <= 200:
+		return 16
+	case numViews <= 1000:
+		return 64
+	case numViews <= 5000:
+		return 160
+	default:
+		return 320
+	}
+}
+
+// ScaleCatalog generates the star-shaped scale workload: an 8-subgoal
+// star query with numViews views over the ScaleVocab(numViews)-relation
+// vocabulary, deterministically from seed. This is the catalog family
+// the views=1k/5k/20k sweeps (cmd/benchscale, BENCH_scale.json) plan
+// against.
+func ScaleCatalog(numViews int, seed int64) (*Instance, error) {
+	return Generate(Config{
+		Shape:            Star,
+		QuerySubgoals:    8,
+		NumViews:         numViews,
+		NumBaseRelations: ScaleVocab(numViews),
+		Seed:             seed,
+	})
+}
+
 // genStar builds q(X0, X1, ..., Xn) :- e_1(X0, X1), ..., e_n(X0, X_n)
 // over the first n base relations, with views over random subsets of up
 // to MaxViewSubgoals relations from the full vocabulary.

@@ -197,3 +197,56 @@ func TestShapeString(t *testing.T) {
 		t.Error("shape names wrong")
 	}
 }
+
+func TestScaleCatalogDeterministicAndSized(t *testing.T) {
+	for _, n := range []int{200, 1000, 5000} {
+		a, err := ScaleCatalog(n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ScaleCatalog(n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Views.Len() != n || b.Views.Len() != n {
+			t.Fatalf("n=%d: generated %d/%d views", n, a.Views.Len(), b.Views.Len())
+		}
+		if a.Query.String() != b.Query.String() {
+			t.Fatalf("n=%d: queries differ across identical seeds", n)
+		}
+		for i, v := range a.Views.Views {
+			if v.Def.String() != b.Views.Views[i].Def.String() {
+				t.Fatalf("n=%d: view %d differs across identical seeds", n, i)
+			}
+		}
+		// The vocabulary widens with the catalog: views must mention
+		// relations beyond the query's own e1..e8 once past the small
+		// regime, so the candidate prefilter has something to skip.
+		if n > 200 {
+			outside := 0
+			q := map[string]bool{}
+			for _, at := range a.Query.Body {
+				q[at.Pred] = true
+			}
+			for _, v := range a.Views.Views {
+				for _, at := range v.Def.Body {
+					if !q[at.Pred] {
+						outside++
+						break
+					}
+				}
+			}
+			if outside < n/2 {
+				t.Fatalf("n=%d: only %d views mention out-of-query relations", n, outside)
+			}
+		}
+	}
+	// The 200-view scale catalog is the servebench default world:
+	// vocabulary 16 keeps it byte-compatible with earlier reports.
+	if v := ScaleVocab(200); v != 16 {
+		t.Fatalf("ScaleVocab(200) = %d, want 16", v)
+	}
+	if v := ScaleVocab(20000); v != 320 {
+		t.Fatalf("ScaleVocab(20000) = %d, want 320", v)
+	}
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Allocation regression gate for the sharded scale pipeline: run the
+# 1000-view sharded planning benchmark with -benchmem and compare
+# allocs/op against the checked-in baseline. Allocations per op are
+# deterministic for the fixed workload (Parallelism 1, CoverShards 1
+# runs fully inline), unlike wall time, so the gate is usable on loaded
+# CI machines. The gate guards the shard-merge path — component
+# decomposition, per-shard enumeration, deterministic merge, batched
+# probes, and the candidate prefilter — whose entire point is doing
+# near-zero per-view work for irrelevant views; an allocation regression
+# here means the pipeline started paying per-view costs again. A gate
+# fails when allocs/op regress more than 10% above baseline; an
+# improvement beyond 10% prints a reminder to re-baseline.
+#
+# The full wall-clock story (1k/5k/20k views x shards x parallelism,
+# speedup vs the legacy planner) is cmd/benchscale -> BENCH_scale.json.
+#
+# Usage: scripts/bench_scale.sh [-update]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES=(
+    'BenchmarkScalePlanning1kSharded scripts/bench_scale_baseline.txt bench_scale'
+)
+
+fail=0
+for entry in "${BENCHES[@]}"; do
+    read -r bench baseline_file name <<<"$entry"
+
+    out=$(go test -run '^$' -bench "^${bench}\$" -benchmem -benchtime 3x . 2>&1) || {
+        echo "$out"
+        exit 1
+    }
+    echo "$out"
+    allocs=$(echo "$out" | awk '/allocs\/op/ {print $(NF-1); exit}')
+    if [ -z "$allocs" ]; then
+        echo "$name: could not parse allocs/op from benchmark output" >&2
+        exit 1
+    fi
+
+    if [ "${1:-}" = "-update" ]; then
+        echo "$allocs" > "$baseline_file"
+        echo "$name: baseline updated to $allocs allocs/op"
+        continue
+    fi
+
+    baseline=$(cat "$baseline_file")
+    # Integer math: fail when allocs > baseline * 1.1.
+    limit=$((baseline + baseline / 10))
+    floor=$((baseline - baseline / 10))
+    echo "$name: $allocs allocs/op (baseline $baseline, limit $limit)"
+    if [ "$allocs" -gt "$limit" ]; then
+        echo "$name: FAIL — allocs/op regressed >10% over baseline" >&2
+        fail=1
+        continue
+    fi
+    if [ "$allocs" -lt "$floor" ]; then
+        echo "$name: improved >10% under baseline; run scripts/bench_scale.sh -update to lock it in"
+    fi
+    echo "$name: OK"
+done
+exit "$fail"
