@@ -220,7 +220,7 @@ func (c *Catalog) ViewsMentioning(pred string) []string {
 // BasePreds returns the sorted base predicates mentioned by any view.
 func (c *Catalog) BasePreds() []string {
 	out := make([]string, 0, len(c.byPred))
-	for id := range c.byPred { //viewplan:nondet-ok collected names are sorted before returning
+	for id := range c.byPred {
 		out = append(out, c.vocab.PredName(id))
 	}
 	sort.Strings(out)
@@ -374,7 +374,7 @@ atoms:
 		return next, nil
 	}
 	byPred := make(map[uint32][]string, len(c.byPred))
-	for id, ns := range c.byPred { //viewplan:nondet-ok copying writes disjoint keys; order is irrelevant
+	for id, ns := range c.byPred {
 		byPred[id] = ns
 	}
 	for _, id := range touched {

@@ -404,7 +404,7 @@ func buildTemplate(res *Result, vars []cq.Var) *entryTemplate {
 			atom(m.Atom)
 		}
 		keys := make([]cq.Var, 0, len(tc.Core.Mapping))
-		for v := range tc.Core.Mapping { //viewplan:nondet-ok keys are sorted before use
+		for v := range tc.Core.Mapping {
 			keys = append(keys, v)
 		}
 		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })

@@ -66,7 +66,6 @@ func (s Subst) Query(q *Query) *Query {
 // equivalent to applying s first and then t.
 func (s Subst) Compose(t Subst) Subst {
 	out := make(Subst, len(s)+len(t))
-	//viewplan:nondet-ok stores are keyed by the range key and Term is a pure lookup on t, so composition is order-independent
 	for v, img := range s {
 		out[v] = t.Term(img)
 	}

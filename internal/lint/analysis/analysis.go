@@ -30,6 +30,13 @@ type Analyzer struct {
 	// (e.g. "nondet-ok" honors //viewplan:nondet-ok <reason>). Empty
 	// means findings cannot be annotated away.
 	Suppress string
+	// IncludeTests keeps findings located in _test.go files. Most
+	// invariants guard result-producing code — tests are free to iterate
+	// maps or read the clock, so their findings are dropped — but the
+	// concurrency analyzers (atomicmix, locksafe) sweep test sources
+	// too: the -race soaks are exactly where a plain read of an atomic
+	// field or a copied mutex hides.
+	IncludeTests bool
 	// Run reports findings on one package through pass.Report.
 	Run func(pass *Pass) error
 }
@@ -43,6 +50,16 @@ type Pass struct {
 	PkgPath   string
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Source is the loaded package, carrying the lazily built
+	// interprocedural facts shared by every analyzer in the run.
+	Source *Package
+}
+
+// Interproc returns the package-local call graph and function
+// summaries, built on first use and shared across analyzers.
+func (p *Pass) Interproc() (*CallGraph, map[*types.Func]*Summary) {
+	return p.Source.Interproc()
 }
 
 // Reportf records a finding at pos.
@@ -81,9 +98,17 @@ func (f Finding) String() string {
 // marked Suppressed when a matching directive sits on its line or the
 // line immediately above. Directives with an empty reason yield their
 // own findings (attributed to pseudo-analyzer "directive"), so an
-// annotation can never silently drop its justification.
+// annotation can never silently drop its justification; a directive
+// whose key belongs to an analyzer in this run but that matched no
+// finding is reported as stale, so annotations cannot outlive the code
+// smell they once excused.
+//
+// Findings located in _test.go files are dropped for analyzers without
+// IncludeTests — before suppression matching, so a test-file directive
+// for such an analyzer is judged against the findings that remain.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	dirs := Directives(pkg.Fset, pkg.Files)
+	used := make(map[*Directive]bool)
 	var out []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -93,6 +118,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Pkg:       pkg.Types,
 			PkgPath:   pkg.PkgPath,
 			TypesInfo: pkg.Info,
+			Source:    pkg,
 		}
 		var diags []Diagnostic
 		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
@@ -101,6 +127,9 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
+			if pkg.TestFiles[pos.Filename] && !a.IncludeTests {
+				continue
+			}
 			f := Finding{
 				Analyzer: a.Name,
 				File:     pos.Filename,
@@ -112,13 +141,21 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 				if dir, ok := dirs.At(pos.Filename, pos.Line, a.Suppress); ok {
 					f.Suppressed = true
 					f.Reason = dir.Reason
+					used[dir] = true
 				}
 			}
 			out = append(out, f)
 		}
 	}
+	keys := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a.Suppress != "" {
+			keys[a.Suppress] = true
+		}
+	}
 	for _, d := range dirs.all {
-		if d.Reason == "" {
+		switch {
+		case d.Reason == "":
 			out = append(out, Finding{
 				Analyzer: "directive",
 				File:     d.File,
@@ -126,7 +163,25 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 				Col:      d.Col,
 				Message:  fmt.Sprintf("//viewplan:%s annotation needs a one-line reason", d.Key),
 			})
+		case keys[d.Key] && !used[d]:
+			out = append(out, Finding{
+				Analyzer: "directive",
+				File:     d.File,
+				Line:     d.Line,
+				Col:      d.Col,
+				Message:  fmt.Sprintf("stale //viewplan:%s annotation: no %s finding here anymore — delete it", d.Key, analyzerFor(analyzers, d.Key)),
+			})
 		}
 	}
 	return out, nil
+}
+
+// analyzerFor names the analyzer owning a suppression key.
+func analyzerFor(analyzers []*Analyzer, key string) string {
+	for _, a := range analyzers {
+		if a.Suppress == key {
+			return a.Name
+		}
+	}
+	return key
 }

@@ -29,14 +29,16 @@ type Directive struct {
 }
 
 // DirectiveSet indexes a package's directives by file and line.
+// Directives are held by pointer so the driver can track which ones
+// actually matched a finding (stale-annotation detection).
 type DirectiveSet struct {
-	byLine map[string]map[int][]Directive
-	all    []Directive
+	byLine map[string]map[int][]*Directive
+	all    []*Directive
 }
 
 // At returns the directive with the given key that covers (file, line):
 // one written on that line, or on the line immediately above.
-func (s DirectiveSet) At(file string, line int, key string) (Directive, bool) {
+func (s DirectiveSet) At(file string, line int, key string) (*Directive, bool) {
 	for _, l := range [2]int{line, line - 1} {
 		for _, d := range s.byLine[file][l] {
 			if d.Key == key {
@@ -44,14 +46,14 @@ func (s DirectiveSet) At(file string, line int, key string) (Directive, bool) {
 			}
 		}
 	}
-	return Directive{}, false
+	return nil, false
 }
 
 const directivePrefix = "//viewplan:"
 
 // Directives scans every comment in files for //viewplan: directives.
 func Directives(fset *token.FileSet, files []*ast.File) DirectiveSet {
-	s := DirectiveSet{byLine: make(map[string]map[int][]Directive)}
+	s := DirectiveSet{byLine: make(map[string]map[int][]*Directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -61,7 +63,7 @@ func Directives(fset *token.FileSet, files []*ast.File) DirectiveSet {
 				rest := strings.TrimPrefix(c.Text, directivePrefix)
 				key, reason, _ := strings.Cut(rest, " ")
 				pos := fset.Position(c.Pos())
-				d := Directive{
+				d := &Directive{
 					File:   pos.Filename,
 					Line:   pos.Line,
 					Col:    pos.Column,
@@ -69,7 +71,7 @@ func Directives(fset *token.FileSet, files []*ast.File) DirectiveSet {
 					Reason: strings.TrimSpace(reason),
 				}
 				if s.byLine[d.File] == nil {
-					s.byLine[d.File] = make(map[int][]Directive)
+					s.byLine[d.File] = make(map[int][]*Directive)
 				}
 				s.byLine[d.File][d.Line] = append(s.byLine[d.File][d.Line], d)
 				s.all = append(s.all, d)

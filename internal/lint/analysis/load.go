@@ -12,6 +12,8 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -23,32 +25,63 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	// TestFiles marks the filenames (as rendered by Fset positions) that
+	// came from _test.go sources. The driver drops findings in these
+	// files for analyzers without IncludeTests.
+	TestFiles map[string]bool
+
+	// Lazily built interprocedural facts, shared by every analyzer that
+	// calls Pass.Interproc.
+	interOnce sync.Once
+	graph     *CallGraph
+	sums      map[*types.Func]*Summary
+}
+
+// Interproc builds (once) and returns the package-local call graph and
+// function summaries.
+func (p *Package) Interproc() (*CallGraph, map[*types.Func]*Summary) {
+	p.interOnce.Do(func() {
+		p.graph = BuildCallGraph(p.Files, p.Info)
+		p.sums = Summarize(p.graph, p.Info)
+	})
+	return p.graph, p.sums
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.
 type listPackage struct {
-	ImportPath string
-	Name       string
-	Dir        string
-	GoFiles    []string
-	Standard   bool
-	DepOnly    bool
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	Imports      []string
 }
 
-// Load resolves patterns with `go list -json -deps` from dir, parses
-// and type-checks every non-standard package from source (dependencies
-// come out of go list in dependency-first order, so each package's
-// module-internal imports are already checked when it is reached), and
-// returns the pattern-matched packages. Standard-library imports are
-// satisfied from compiler export data via go/importer, which needs no
-// network and no module cache. Test files are not loaded: the
-// invariants guard result-producing code, and tests are free to
-// iterate maps or read the clock.
+// Load resolves patterns with `go list -e -json -deps -test` from dir,
+// type-checks every pattern-matched package from source — *including*
+// its _test.go files: in-package test sources are merged into the
+// package's check, and external _test packages are checked as their own
+// package against the test-augmented import — and returns the pattern
+// packages followed by their external test packages. The -race soaks
+// live in test files; sweeping them is the point of the concurrency
+// analyzers.
+//
+// Dependencies are resolved lazily and checked from their plain (non-
+// test) sources only, which matches how the compiler builds them for
+// import. Standard-library imports come from compiler export data via
+// go/importer: no network, no module cache. The synthetic "foo.test"
+// and "foo [foo.test]" entries -test emits are skipped — the real entry
+// already carries the test file lists.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	args := append([]string{"list", "-e", "-json", "-deps", "-test", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -58,13 +91,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
 
-	fset := token.NewFileSet()
-	imp := &moduleImporter{
-		std:    importer.ForCompiler(fset, "gc", nil),
-		loaded: make(map[string]*types.Package),
-	}
-
-	var pkgs []*Package
+	entries := make(map[string]*listPackage)
+	var order []string // pattern packages, in go list output order
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listPackage
@@ -76,22 +104,174 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Standard || lp.Name == "" {
 			continue
 		}
-		pkg, err := checkPackage(fset, imp, lp)
+		// Synthetic test entries: "p.test" (the generated main) and
+		// "p [p.test]" / "p_test [p.test]" (test-augmented variants).
+		// The real entry carries TestGoFiles/XTestGoFiles already.
+		if lp.ForTest != "" || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		e := lp
+		entries[lp.ImportPath] = &e
+		if !lp.DepOnly {
+			order = append(order, lp.ImportPath)
+		}
+	}
+
+	fset := token.NewFileSet()
+	ld := &lazyLoader{
+		entries: entries,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "gc", nil),
+		plain:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+
+	var pkgs []*Package
+	for _, path := range order {
+		lp := entries[path]
+		pkg, err := ld.checkAugmented(lp)
 		if err != nil {
 			return nil, err
 		}
-		imp.loaded[lp.ImportPath] = pkg.Types
-		if !lp.DepOnly {
-			pkgs = append(pkgs, pkg)
+		pkgs = append(pkgs, pkg)
+		if len(lp.XTestGoFiles) > 0 {
+			xpkg, err := ld.checkXTest(lp, pkg.Types)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xpkg)
 		}
 	}
 	return pkgs, nil
 }
 
+// lazyLoader type-checks packages on demand: dependencies from their
+// plain GoFiles (memoized), pattern packages with test files merged.
+type lazyLoader struct {
+	entries map[string]*listPackage
+	fset    *token.FileSet
+	std     types.Importer
+	plain   map[string]*types.Package
+	loading map[string]bool // import-cycle guard
+}
+
+// Import resolves a dependency to its plain (non-test) check.
+func (ld *lazyLoader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.plain[path]; ok {
+		return p, nil
+	}
+	lp, ok := ld.entries[path]
+	if !ok {
+		return ld.std.Import(path)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+	pkg, _, _, err := ld.check(path, lp.Dir, lp.GoFiles, nil, ld)
+	if err != nil {
+		return nil, err
+	}
+	ld.plain[path] = pkg
+	return pkg, nil
+}
+
+// checkAugmented checks a pattern package with its in-package test
+// files merged. When the package has no test files the result doubles
+// as its plain check, so importers share the instance.
+func (ld *lazyLoader) checkAugmented(lp *listPackage) (*Package, error) {
+	ld.loading[lp.ImportPath] = true
+	tpkg, files, info, err := ld.check(lp.ImportPath, lp.Dir, lp.GoFiles, lp.TestGoFiles, ld)
+	delete(ld.loading, lp.ImportPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(lp.TestGoFiles) == 0 {
+		ld.plain[lp.ImportPath] = tpkg
+	}
+	pkg := &Package{
+		PkgPath:   lp.ImportPath,
+		Name:      lp.Name,
+		Dir:       lp.Dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: make(map[string]bool, len(lp.TestGoFiles)),
+	}
+	for _, name := range lp.TestGoFiles {
+		pkg.TestFiles[filepath.Join(lp.Dir, name)] = true
+	}
+	return pkg, nil
+}
+
+// checkXTest checks a package's external _test package against the
+// test-augmented import of the package under test.
+func (ld *lazyLoader) checkXTest(lp *listPackage, augmented *types.Package) (*Package, error) {
+	imp := &overlayImporter{base: ld, path: lp.ImportPath, pkg: augmented}
+	path := lp.ImportPath + "_test"
+	tpkg, files, info, err := ld.check(path, lp.Dir, lp.XTestGoFiles, nil, imp)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		PkgPath:   path,
+		Name:      lp.Name + "_test",
+		Dir:       lp.Dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: make(map[string]bool, len(lp.XTestGoFiles)),
+	}
+	for _, name := range lp.XTestGoFiles {
+		pkg.TestFiles[filepath.Join(lp.Dir, name)] = true
+	}
+	return pkg, nil
+}
+
+// check parses names (+extra) under dir and type-checks them as path.
+func (ld *lazyLoader) check(path, dir string, names, extra []string, imp types.Importer) (*types.Package, []*ast.File, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range append(append([]string{}, names...), extra...) {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return tpkg, files, info, nil
+}
+
+// overlayImporter serves one import path from a pre-checked package
+// (the test-augmented package under test) and everything else from the
+// base loader.
+type overlayImporter struct {
+	base *lazyLoader
+	path string
+	pkg  *types.Package
+}
+
+func (o *overlayImporter) Import(path string) (*types.Package, error) {
+	if path == o.path {
+		return o.pkg, nil
+	}
+	return o.base.Import(path)
+}
+
 // LoadDir parses and type-checks the .go files of a single directory as
 // one package, resolving imports against root (GOPATH-style: import
 // "obs" resolves to root/obs). It backs the analysistest fixtures,
-// which live under testdata and are invisible to go list.
+// which live under testdata and are invisible to go list. Files named
+// *_test.go are marked in TestFiles, so fixtures can prove the
+// test-file gating both ways.
 func LoadDir(root, pkg string) (*Package, error) {
 	fset := token.NewFileSet()
 	imp := &fixtureImporter{
@@ -103,33 +283,6 @@ func LoadDir(root, pkg string) (*Package, error) {
 	return imp.load(pkg)
 }
 
-// checkPackage parses lp's files and type-checks them.
-func checkPackage(fset *token.FileSet, imp types.Importer, lp listPackage) (*Package, error) {
-	var files []*ast.File
-	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %w", name, err)
-		}
-		files = append(files, f)
-	}
-	info := newInfo()
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
-	}
-	return &Package{
-		PkgPath: lp.ImportPath,
-		Name:    lp.Name,
-		Dir:     lp.Dir,
-		Fset:    fset,
-		Files:   files,
-		Types:   tpkg,
-		Info:    info,
-	}, nil
-}
-
 func newInfo() *types.Info {
 	return &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -139,20 +292,6 @@ func newInfo() *types.Info {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-}
-
-// moduleImporter resolves module-internal imports to already-checked
-// packages and everything else to stdlib export data.
-type moduleImporter struct {
-	std    types.Importer
-	loaded map[string]*types.Package
-}
-
-func (m *moduleImporter) Import(path string) (*types.Package, error) {
-	if p, ok := m.loaded[path]; ok {
-		return p, nil
-	}
-	return m.std.Import(path)
 }
 
 // fixtureImporter loads GOPATH-style fixture packages on demand,
@@ -187,6 +326,7 @@ func (fi *fixtureImporter) load(path string) (*Package, error) {
 	}
 	var files []*ast.File
 	pkgName := ""
+	testFiles := make(map[string]bool)
 	for _, name := range names {
 		f, err := parser.ParseFile(fi.fset, name, nil, parser.ParseComments)
 		if err != nil {
@@ -194,6 +334,9 @@ func (fi *fixtureImporter) load(path string) (*Package, error) {
 		}
 		files = append(files, f)
 		pkgName = f.Name.Name
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles[name] = true
+		}
 	}
 	info := newInfo()
 	conf := types.Config{Importer: fi}
@@ -203,12 +346,13 @@ func (fi *fixtureImporter) load(path string) (*Package, error) {
 	}
 	fi.loaded[path] = tpkg
 	return &Package{
-		PkgPath: path,
-		Name:    pkgName,
-		Dir:     dir,
-		Fset:    fi.fset,
-		Files:   files,
-		Types:   tpkg,
-		Info:    info,
+		PkgPath:   path,
+		Name:      pkgName,
+		Dir:       dir,
+		Fset:      fi.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: testFiles,
 	}, nil
 }

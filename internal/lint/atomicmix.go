@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"viewplan/internal/lint/analysis"
+)
+
+// AtomicMix flags mixed atomic/plain access: once any code in a package
+// touches a field (or package variable) through the sync/atomic
+// function API — atomic.AddUint64(&s.gen, 1), atomic.LoadPointer(&p) —
+// every other access to that storage must also be atomic. A plain read
+// of an atomically written generation counter is a data race the
+// compiler is free to tear, cache, or reorder; it works in every test
+// run until it doesn't.
+//
+// The repo's own convention is stronger — use the typed wrappers
+// (atomic.Uint64, atomic.Pointer[T]) whose method set makes plain
+// access unrepresentable — so this analyzer should stay silent on the
+// real tree forever; it exists to catch the regression where someone
+// reaches for the function API on a plain field. It sweeps _test.go
+// files too: the -race soaks read shared counters, and a plain read
+// there races with the code under test.
+var AtomicMix = &analysis.Analyzer{
+	Name:         "atomicmix",
+	Doc:          "flags plain reads/writes of fields that are accessed via sync/atomic anywhere in the package",
+	Suppress:     "atomic-ok",
+	IncludeTests: true,
+	Run:          runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: every storage location handed to a sync/atomic function by
+	// address, and the identifier nodes inside those sanctioned calls.
+	atomicObjs := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			operand := analysis.AtomicFuncArg(info, call)
+			if operand == nil {
+				return true
+			}
+			var target *ast.Ident
+			switch x := operand.(type) {
+			case *ast.Ident:
+				target = x
+			case *ast.SelectorExpr:
+				target = x.Sel
+			case *ast.IndexExpr:
+				if sel, ok := x.X.(*ast.SelectorExpr); ok {
+					target = sel.Sel
+				}
+			}
+			if target == nil {
+				return true
+			}
+			if obj := identUse(info, target); obj != nil {
+				atomicObjs[obj] = true
+			}
+			// Every identifier inside the atomic call is a sanctioned
+			// access (the operand, and any index expressions).
+			ast.Inspect(call, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					sanctioned[id] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other resolved access to those objects is a race.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed via sync/atomic elsewhere in this package: this plain access races with the atomic ones (use the atomic API, or //viewplan:atomic-ok <reason>)",
+				id.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -12,6 +12,17 @@
 //   - wallclock: no wall-clock or global-seed randomness outside the
 //     observability and workload-generation layers
 //   - sortslice, nilness: general-purpose passes not in `go vet`
+//   - poolsafe: sync.Pool checkouts (the containment kernel's pooled
+//     homomorphism frames) are never used, stored, or returned past
+//     their Put/release point
+//   - frozenwrite: publish-then-immutable types (the resident
+//     ViewCatalog, compiled HomTargets) are only written while provably
+//     fresh — the copy-on-write discipline, machine-checked
+//   - atomicmix: storage accessed via sync/atomic is never read or
+//     written plainly anywhere in the package (including _test.go)
+//   - locksafe: no by-value copies of lock-bearing structs, and no
+//     second same-owner (stripe) lock acquisition while one is held —
+//     interprocedurally, through the package-local call graph
 //
 // Findings are suppressed — never silently — by //viewplan:<key> <reason>
 // annotations; see package analysis. Analyzers match types structurally
@@ -43,6 +54,10 @@ func Analyzers() []*analysis.Analyzer {
 		WallClock,
 		SortSlice,
 		Nilness,
+		PoolSafe,
+		FrozenWrite,
+		AtomicMix,
+		LockSafe,
 	}
 }
 

@@ -89,6 +89,76 @@ func TestDirectiveRequiresReason(t *testing.T) {
 	}
 }
 
+// TestPoolSafe covers the pool ownership contract: use-after-Put,
+// retained-closure, deferred-release return, stores and composite
+// escapes, interprocedural release/checkout helpers — and the legal
+// shapes (ownership-transfer constructor, kill-by-reassignment,
+// defer-scoped checkout) the analyzer must stay silent on.
+func TestPoolSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PoolSafe, "poolsafe")
+}
+
+// TestFrozenWrite covers the copy-on-write discipline: writes through
+// published catalogs are flagged, writes to fresh successors — directly
+// or via a fresh-only-parameter helper like rebuildWork — are not.
+func TestFrozenWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FrozenWrite, "frozenwrite")
+}
+
+// TestAtomicMix covers mixed atomic/plain access, including the
+// _test.go fixture file: the analyzer sweeps test sources, so a plain
+// read of an atomically written counter in a test is flagged too.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AtomicMix, "atomicmix")
+}
+
+// TestLockSafe covers the stripe discipline (double-stripe acquisition,
+// deadlock through the call graph, RLock-then-Lock self-deadlock) and
+// by-value copies of lock-bearing structs.
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockSafe, "locksafe")
+}
+
+// TestStaleDirective checks the other half of annotation hygiene: a
+// well-formed //viewplan: directive that matches no finding of any
+// analyzer in the run is itself reported, so dead suppressions cannot
+// accumulate and silently swallow future findings.
+func TestStaleDirective(t *testing.T) {
+	p, err := analysis.LoadDir("testdata/src", "staledirective")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{lint.MapIterDet})
+	if err != nil {
+		t.Fatalf("running mapiterdet: %v", err)
+	}
+	var stale int
+	for _, f := range findings {
+		if f.Analyzer == "directive" && strings.Contains(f.Message, "stale") {
+			stale++
+			if !strings.Contains(f.Message, "nondet-ok") {
+				t.Errorf("stale finding does not name the directive key: %s", f)
+			}
+			continue
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if stale != 1 {
+		t.Errorf("got %d stale-directive findings, want 1", stale)
+	}
+
+	// The same fixture run under an analyzer that does not own the
+	// nondet-ok key must NOT report the directive as stale: a
+	// single-analyzer run cannot judge other analyzers' annotations.
+	findings, err = analysis.RunAnalyzers(p, []*analysis.Analyzer{lint.SortSlice})
+	if err != nil {
+		t.Fatalf("running sortslice: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding from non-owning run: %s", f)
+	}
+}
+
 // TestInternMixShardIndexes pins the sharded cover search's index
 // discipline: shard-local dense subgoal indexes and their local-to-
 // global remapping are plain positional integers the analyzer stays

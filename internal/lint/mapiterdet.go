@@ -25,8 +25,15 @@ import (
 //     (`if v > best { best = v }`), idempotent constant stores,
 //     writes into another map keyed by the range key, set inserts
 //     (`other.Add(k)` on a map-backed set, keyed by the range key),
-//     deletes, and guards whose conditions don't read loop-mutated
+//     deletes, lazy container initialization (`if x == nil { x =
+//     make(…) }`), and guards whose conditions don't read loop-mutated
 //     state.
+//
+// Calls inside those forms are allowed when the interprocedural
+// summaries prove them pure (no caller-visible effects — includes the
+// sync/atomic Load methods) and their operands don't read loop-mutated
+// state: a pure call over loop-invariant or key-derived inputs yields
+// the same value from every iteration order.
 //
 // Everything else needs `//viewplan:nondet-ok <reason>` on the range
 // line (or the line above): the reason is the reviewer-facing proof of
@@ -42,6 +49,7 @@ func runMapIterDet(pass *analysis.Pass) error {
 	if !determinismCritical[pass.Pkg.Name()] {
 		return nil
 	}
+	_, sums := pass.Interproc()
 	for _, f := range pass.Files {
 		funcBodies(f, func(node ast.Node, body *ast.BlockStmt) {
 			sorted := sortedSinks(pass.TypesInfo, body)
@@ -59,6 +67,7 @@ func runMapIterDet(pass *analysis.Pass) error {
 				}
 				b := &benignChecker{
 					info:   pass.TypesInfo,
+					sums:   sums,
 					sorted: sorted,
 					loop:   rs,
 				}
@@ -127,6 +136,7 @@ func sortedSinks(info *types.Info, body *ast.BlockStmt) map[types.Object][]sorte
 // why records the first reason it is not, for the diagnostic.
 type benignChecker struct {
 	info   *types.Info
+	sums   map[*types.Func]*analysis.Summary
 	sorted map[types.Object][]sortedSink
 	loop   *ast.RangeStmt
 	// mutated is the set of objects assigned anywhere in the loop body
@@ -246,8 +256,8 @@ func (b *benignChecker) stmtOK(s ast.Stmt) bool {
 				return b.fail("unrecognized declaration in loop body", s)
 			}
 			for _, v := range vs.Values {
-				if callsNonBuiltin(b.info, v) {
-					return b.fail("loop-local initializer calls a function", s)
+				if b.impureCall(v) {
+					return b.fail("loop-local initializer calls an impure or order-sensitive function", s)
 				}
 			}
 		}
@@ -267,8 +277,8 @@ func (b *benignChecker) assignOK(st *ast.AssignStmt) bool {
 		return true
 	case token.DEFINE:
 		for _, rhs := range st.Rhs {
-			if callsNonBuiltin(b.info, rhs) {
-				return b.fail("iteration-local := calls a function", st)
+			if b.impureCall(rhs) {
+				return b.fail("iteration-local := calls an impure or order-sensitive function", st)
 			}
 		}
 		for _, lhs := range st.Lhs {
@@ -302,8 +312,8 @@ func (b *benignChecker) assignOK(st *ast.AssignStmt) bool {
 			}
 			if b.locals[b.info.Uses[id]] {
 				// Reassigning an iteration-local is iteration-private.
-				if callsNonBuiltin(b.info, rhs) {
-					return b.fail("iteration-local assignment calls a function", st)
+				if b.impureCall(rhs) {
+					return b.fail("iteration-local assignment calls an impure or order-sensitive function", st)
 				}
 				return true
 			}
@@ -314,14 +324,14 @@ func (b *benignChecker) assignOK(st *ast.AssignStmt) bool {
 		// m2[k] = v: transferring under the same key commutes.
 		if ix, ok := lhs.(*ast.IndexExpr); ok {
 			if b.indexedByRangeKey(ix) {
-				if callsNonBuiltin(b.info, rhs) {
+				if b.impureCall(rhs) {
 					// Allow m2[k] = append(m2[k], …): still keyed by k.
 					if call, ok := rhs.(*ast.CallExpr); ok {
 						if fid, ok := call.Fun.(*ast.Ident); ok && isBuiltin(b.info, fid, "append") {
 							return true
 						}
 					}
-					return b.fail("map transfer value calls a function", st)
+					return b.fail("map transfer value calls an impure or order-sensitive function", st)
 				}
 				return true
 			}
@@ -385,10 +395,13 @@ func (b *benignChecker) setInsertByRangeKey(call *ast.CallExpr) bool {
 	return isMap
 }
 
-// ifOK accepts min/max folds and guards whose conditions cannot read
-// loop-mutated state.
+// ifOK accepts min/max folds, lazy container initialization, and guards
+// whose conditions cannot read loop-mutated state.
 func (b *benignChecker) ifOK(st *ast.IfStmt) bool {
 	if b.minMaxFold(st) {
+		return true
+	}
+	if b.lazyInitOK(st) {
 		return true
 	}
 	if st.Init != nil {
@@ -442,6 +455,54 @@ func (b *benignChecker) minMaxFold(st *ast.IfStmt) bool {
 	return matches(cond.X, cond.Y) || matches(cond.Y, cond.X)
 }
 
+// lazyInitOK matches the first-touch container initializer
+//
+//	if x == nil { x = make(…) }
+//
+// which commutes: whichever iteration arrives first installs the same
+// empty container. The initializer must be a make/new builtin or a
+// composite literal (so every iteration would build the identical
+// value), with call-free arguments.
+func (b *benignChecker) lazyInitOK(st *ast.IfStmt) bool {
+	if st.Init != nil || st.Else != nil || len(st.Body.List) != 1 {
+		return false
+	}
+	cond, ok := st.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	target := cond.X
+	switch {
+	case isConstantResult(b.info, cond.Y):
+		// x == nil (or x == 0): target is the left side.
+	case isConstantResult(b.info, cond.X):
+		target = cond.Y
+	default:
+		return false
+	}
+	as, ok := st.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	if !sameExpr(as.Lhs[0], target) {
+		return false
+	}
+	switch rhs := as.Rhs[0].(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := rhs.Fun.(*ast.Ident); ok && (isBuiltin(b.info, id, "make") || isBuiltin(b.info, id, "new")) {
+			for _, arg := range rhs.Args[1:] {
+				if b.impureCall(arg) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // condReadsMutated reports whether e mentions an object assigned inside
 // the loop body (other than iteration-locals).
 func (b *benignChecker) condReadsMutated(e ast.Expr) bool {
@@ -469,25 +530,39 @@ func isConstantResult(info *types.Info, e ast.Expr) bool {
 	return false
 }
 
-// callsNonBuiltin reports whether e contains a call that is neither a
-// conversion nor one of the pure builtins (len, cap, min, max).
-func callsNonBuiltin(info *types.Info, e ast.Expr) bool {
+// impureCall reports whether e contains a call the analyzer cannot
+// prove order-independent. Conversions and the pure builtins (len, cap,
+// min, max, append) always pass; other calls pass when the
+// interprocedural summary proves the callee pure (or it is a
+// sync/atomic Load method) *and* the call's operands don't read
+// loop-mutated state — a pure function of loop-invariant or key-derived
+// inputs returns the same value from every iteration order.
+func (b *benignChecker) impureCall(e ast.Expr) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return !found
 		}
-		if info.Types[call.Fun].IsType() {
+		if b.info.Types[call.Fun].IsType() {
 			return !found // conversion
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
 			switch id.Name {
 			case "len", "cap", "min", "max", "append":
-				if isBuiltin(info, id, id.Name) {
+				if isBuiltin(b.info, id, id.Name) {
 					return !found
 				}
 			}
+		}
+		pure := analysis.IsAtomicLoad(b.info, call)
+		if !pure && b.sums != nil {
+			if cs := b.sums[analysis.CalleeOf(b.info, call)]; cs != nil && cs.Pure {
+				pure = true
+			}
+		}
+		if pure && !b.condReadsMutated(call) {
+			return !found
 		}
 		found = true
 		return false

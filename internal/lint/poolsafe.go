@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"viewplan/internal/lint/analysis"
+)
+
+// PoolSafe flags uses of pooled values past their release point. The
+// containment kernel checks homomorphism frames (homRun, HomTarget) out
+// of sync.Pools on the hot path; the pool contract is strict exclusive
+// ownership: between Get and Put the frame is yours, after Put it
+// belongs to any goroutine. A frame that is read after Put, captured by
+// a closure that outlives the Put, stored into longer-lived structure,
+// or returned while a deferred Put is pending is a use-after-free that
+// -race only catches when two goroutines collide on the recycled frame
+// during the run.
+//
+// The analyzer is interprocedural within the package: a function whose
+// summary says it Puts (parameter or receiver state) is itself a
+// release point — p.Close() releases p's frame, so p must not be used
+// afterwards — and a function that returns a pool checkout
+// (ReturnsPooled) taints its callers' locals. Intentional ownership
+// transfer (a constructor parking a checked-out frame in the struct it
+// returns, released by the matching Close) is fine: the constructor
+// does not release, so none of the rules fire there.
+var PoolSafe = &analysis.Analyzer{
+	Name:     "poolsafe",
+	Doc:      "flags pooled (sync.Pool) values retained, returned, stored, or used past their Put/release point",
+	Suppress: "pool-ok",
+	Run:      runPoolSafe,
+}
+
+func runPoolSafe(pass *analysis.Pass) error {
+	_, sums := pass.Interproc()
+	for _, f := range pass.Files {
+		funcBodies(f, func(node ast.Node, body *ast.BlockStmt) {
+			checkPoolBody(pass, sums, body)
+		})
+	}
+	return nil
+}
+
+// release is one point past which a pooled value is gone: a Put call,
+// or a call to a function whose summary releases one of its arguments.
+type release struct {
+	call     *ast.CallExpr
+	obj      types.Object // the released variable, if rooted at one
+	key      string       // ExprString of the released operand (field-held frames)
+	deferred bool
+	what     string // rendered operand, for diagnostics
+}
+
+func checkPoolBody(pass *analysis.Pass, sums map[*types.Func]*analysis.Summary, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	parents := analysis.Parents(body)
+
+	// inFuncLit/inDefer: whether a node sits inside a nested function
+	// literal / defer statement (relative to this body).
+	enclosing := func(n ast.Node) (funcLit, deferred bool) {
+		for p := n; p != nil && p != body; p = parents[p] {
+			switch p.(type) {
+			case *ast.FuncLit:
+				funcLit = true
+			case *ast.DeferStmt:
+				deferred = true
+			}
+		}
+		return
+	}
+
+	// Pass 1: pooled provenance. Variables defined from a pool Get (or a
+	// ReturnsPooled callee) are pooled; so are field paths assigned one.
+	pooledObjs := make(map[types.Object]bool)
+	var isPooled func(e ast.Expr) bool
+	isPooled = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			return isPooled(x.X)
+		case *ast.TypeAssertExpr:
+			return isPooled(x.X)
+		case *ast.Ident:
+			return pooledObjs[identUse(info, x)]
+		case *ast.CallExpr:
+			if analysis.IsPoolGet(info, x) {
+				return true
+			}
+			if cs := sums[analysis.CalleeOf(info, x)]; cs != nil {
+				return cs.ReturnsPooled
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != len(as.Lhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || !isPooled(as.Rhs[i]) {
+					continue
+				}
+				if obj := identUse(info, id); obj != nil && !pooledObjs[obj] {
+					pooledObjs[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: release points (outside nested function literals — a Put
+	// inside a closure runs at some unrelated time).
+	var releases []release
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		inLit, inDef := enclosing(call)
+		if inLit {
+			return true
+		}
+		record := func(operand ast.Expr) {
+			r := release{call: call, deferred: inDef, what: types.ExprString(operand)}
+			if id, ok := operand.(*ast.Ident); ok {
+				r.obj = identUse(info, id)
+			} else {
+				r.key = types.ExprString(operand)
+			}
+			releases = append(releases, r)
+		}
+		if arg, ok := analysis.PoolPutArg(info, call); ok {
+			record(arg)
+			return true
+		}
+		if cs := sums[analysis.CalleeOf(info, call)]; cs != nil {
+			args := analysis.CallArgs(info, call)
+			for i, rel := range cs.Releases {
+				if rel && i < len(args) {
+					record(args[i])
+				}
+			}
+		}
+		return true
+	})
+	if len(releases) == 0 {
+		return
+	}
+
+	// Kills: a plain reassignment of the released variable (or exact
+	// field path) between the release and the use re-establishes
+	// ownership — `p.r = nil` after Put makes later p.r reads nil
+	// derefs, not recycled-frame races.
+	killed := func(rel release, usePos token.Pos) bool {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || found {
+				return !found
+			}
+			for _, lhs := range as.Lhs {
+				if lhs.Pos() >= usePos || !analysis.After(parents, rel.call, lhs.Pos()) {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok && rel.obj != nil && identUse(info, id) == rel.obj {
+					found = true
+				}
+				if rel.key != "" && types.ExprString(lhs) == rel.key {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Rule 1: any read of the released operand after the release (with
+	// no intervening reassignment). LHS-only occurrences are kills, not
+	// uses. Deferred releases fire at function exit, so nothing in the
+	// body is "after" them — rule 4 handles returns instead.
+	for _, rel := range releases {
+		if rel.deferred {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if rel.obj == nil || identUse(info, x) != rel.obj {
+					return true
+				}
+				if isWholeLHS(parents, x) || !analysis.After(parents, rel.call, x.Pos()) {
+					return true
+				}
+				if !killed(rel, x.Pos()) {
+					pass.Reportf(x.Pos(), "use of pooled value %s after it was released to its pool at line %d",
+						rel.what, pass.Fset.Position(rel.call.Pos()).Line)
+				}
+			case *ast.SelectorExpr:
+				if rel.key == "" || types.ExprString(x) != rel.key {
+					return true
+				}
+				if isWholeLHS(parents, x) || !analysis.After(parents, rel.call, x.Pos()) {
+					return true
+				}
+				if !killed(rel, x.Pos()) {
+					pass.Reportf(x.Pos(), "use of pooled value %s after it was released to its pool at line %d",
+						rel.what, pass.Fset.Position(rel.call.Pos()).Line)
+				}
+				return false
+			}
+			return true
+		})
+	}
+
+	// The remaining rules only concern bodies that release a pooled
+	// *variable* (deferred or not): between checkout and release the
+	// frame must not escape.
+	releasedObjs := make(map[types.Object]*release)
+	for i := range releases {
+		if releases[i].obj != nil {
+			releasedObjs[releases[i].obj] = &releases[i]
+		}
+	}
+	if len(releasedObjs) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Rule 2: a closure capturing a frame this body releases
+			// outlives the release point (it can run, or be stored, any
+			// time). The release inside the closure itself is exempt.
+			for obj, rel := range releasedObjs {
+				if rel.call.Pos() >= x.Pos() && rel.call.End() <= x.End() {
+					continue
+				}
+				ast.Inspect(x.Body, func(inner ast.Node) bool {
+					id, ok := inner.(*ast.Ident)
+					if ok && identUse(info, id) == obj {
+						pass.Reportf(id.Pos(), "pooled value %s captured by a closure but released to its pool at line %d: the closure can observe a recycled frame",
+							id.Name, pass.Fset.Position(rel.call.Pos()).Line)
+						return false
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.AssignStmt:
+			// Rule 3: storing a released frame into anything reachable
+			// beyond this call frame — a field, element, or composite —
+			// retains it past the Put.
+			for i, rhs := range x.Rhs {
+				root := rootOfValue(info, rhs)
+				if root == nil {
+					continue
+				}
+				rel, ok := releasedObjs[root]
+				if !ok || i >= len(x.Lhs) && len(x.Lhs) != 1 {
+					continue
+				}
+				lhs := x.Lhs[0]
+				if len(x.Lhs) == len(x.Rhs) {
+					lhs = x.Lhs[i]
+				}
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // plain rebinding: provenance follows the copy
+				}
+				pass.Reportf(rhs.Pos(), "pooled value %s stored into %s but released to its pool at line %d: the stored reference outlives the frame",
+					rel.what, types.ExprString(lhs), pass.Fset.Position(rel.call.Pos()).Line)
+			}
+		case *ast.CompositeLit:
+			inLit, _ := enclosing(x)
+			if inLit {
+				return true
+			}
+			ast.Inspect(x, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if rel, found := releasedObjs[identUse(info, id)]; found {
+					pass.Reportf(id.Pos(), "pooled value %s placed in a composite literal but released to its pool at line %d: the literal outlives the frame",
+						id.Name, pass.Fset.Position(rel.call.Pos()).Line)
+				}
+				return true
+			})
+		case *ast.ReturnStmt:
+			// Rule 4: returning a frame whose deferred release will fire
+			// on the way out hands the caller a recycled frame.
+			for _, res := range x.Results {
+				root := rootOfValue(info, res)
+				if root == nil {
+					continue
+				}
+				if rel, ok := releasedObjs[root]; ok && rel.deferred {
+					pass.Reportf(res.Pos(), "pooled value %s returned while a deferred release to its pool is pending",
+						rel.what)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// identUse resolves an identifier to its object (use or def).
+func identUse(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isWholeLHS reports whether e is, itself, a left-hand side of an
+// assignment (a kill position, not a read).
+func isWholeLHS(parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	as, ok := parents[e].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == ast.Node(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootOfValue unwraps parens/conversions to the plain identifier whose
+// value flows, or nil (selector/index chains do not transfer the frame
+// itself).
+func rootOfValue(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return identUse(info, x)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) == 1 && info.Types[x.Fun].IsType() {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// The atomicmix fixture declares package service to mirror the real
+// generation counters. Once storage is touched through the sync/atomic
+// function API, every other access to it must be atomic too — a plain
+// read races with the atomic writers, and the compiler may tear, cache,
+// or reorder it.
+package service
+
+import "sync/atomic"
+
+var gen uint64
+
+type server struct{ epoch uint64 }
+
+func bump()        { atomic.AddUint64(&gen, 1) }
+func load() uint64 { return atomic.LoadUint64(&gen) }
+
+// torn reads the atomically written counter plainly.
+func torn() uint64 {
+	return gen // want `gen is accessed via sync/atomic elsewhere in this package`
+}
+
+// reset writes it plainly: just as racy as the plain read.
+func reset() {
+	gen = 0 // want `gen is accessed via sync/atomic elsewhere in this package`
+}
+
+func (s *server) bumpEpoch() { atomic.AddUint64(&s.epoch, 1) }
+
+// tornEpoch shows the same rule applies to struct fields.
+func (s *server) tornEpoch() uint64 {
+	return s.epoch // want `epoch is accessed via sync/atomic elsewhere in this package`
+}
+
+// typedGen is the repo's actual convention — the typed wrappers make
+// plain access unrepresentable, so the analyzer has nothing to say.
+var typedGen atomic.Uint64
+
+func bumpTyped() uint64 { return typedGen.Add(1) }

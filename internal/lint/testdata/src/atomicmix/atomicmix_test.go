@@ -1,0 +1,8 @@
+// In-package test fixture: atomicmix sweeps _test.go sources too,
+// because the -race soaks read shared counters and a plain read there
+// races with the code under test.
+package service
+
+func plainReadInTest() uint64 {
+	return gen // want `gen is accessed via sync/atomic elsewhere in this package`
+}

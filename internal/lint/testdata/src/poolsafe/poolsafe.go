@@ -1,0 +1,114 @@
+// The poolsafe fixture declares package containment to mirror the real
+// pooled homomorphism frames. The pool contract is strict exclusive
+// ownership: between Get and Put the frame is yours, after Put it
+// belongs to any goroutine.
+package containment
+
+import "sync"
+
+type frame struct{ slots []int }
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// useAfterPut replays the canonical bug: reading a frame after handing
+// it back — another goroutine may already be scribbling on it.
+func useAfterPut() int {
+	f := framePool.Get().(*frame)
+	f.slots = append(f.slots[:0], 1)
+	framePool.Put(f)
+	return len(f.slots) // want `use of pooled value f after it was released`
+}
+
+// retainedClosure is the ISSUE regression: a closure captures the frame
+// and outlives the Put, so whenever it runs it sees a recycled frame.
+func retainedClosure() func() int {
+	f := framePool.Get().(*frame)
+	cb := func() int { return len(f.slots) } // want `captured by a closure but released`
+	framePool.Put(f)
+	return cb
+}
+
+// returnWithDeferredPut hands the caller a frame the deferred Put will
+// recycle on the way out.
+func returnWithDeferredPut() *frame {
+	f := framePool.Get().(*frame)
+	defer framePool.Put(f)
+	return f // want `returned while a deferred release`
+}
+
+type keeper struct{ f *frame }
+
+// storeEscape parks the frame in longer-lived structure, then releases
+// it: the stored reference outlives the frame.
+func storeEscape(k *keeper) {
+	f := framePool.Get().(*frame)
+	k.f = f // want `stored into`
+	framePool.Put(f)
+}
+
+// compositeEscape returns a struct literal holding the released frame.
+func compositeEscape() keeper {
+	f := framePool.Get().(*frame)
+	defer framePool.Put(f)
+	return keeper{f: f} // want `placed in a composite literal`
+}
+
+// releaseFrame gives the analyzer an interprocedural release point: its
+// summary records that it Puts its argument.
+func releaseFrame(f *frame) { framePool.Put(f) }
+
+// viaHelper releases through the helper; the use after it is just as
+// dead as after a direct Put.
+func viaHelper() int {
+	f := framePool.Get().(*frame)
+	releaseFrame(f)
+	return len(f.slots) // want `use of pooled value f after it was released`
+}
+
+// getFrame returns a pool checkout; callers' locals bound to it carry
+// pooled provenance (ReturnsPooled).
+func getFrame() *frame { return framePool.Get().(*frame) }
+
+func viaGetter() int {
+	f := getFrame()
+	framePool.Put(f)
+	return len(f.slots) // want `use of pooled value f after it was released`
+}
+
+// ---- legal patterns the analyzer must stay silent on ----
+
+// prober models the documented ownership transfer: the constructor
+// parks the checkout in the struct it returns — it does not release, so
+// no rule fires — and the matching Close is the release point.
+type prober struct{ r *frame }
+
+func newProber() *prober {
+	return &prober{r: framePool.Get().(*frame)}
+}
+
+// Close releases the parked frame; the nil store afterwards is a
+// whole-LHS kill (re-establishing ownership of the field), not a use.
+func (p *prober) Close() {
+	framePool.Put(p.r)
+	p.r = nil
+}
+
+// reuseAfterKill re-checks a frame out: the fresh Get kills the earlier
+// release, so the later uses are of the new checkout.
+func reuseAfterKill() int {
+	f := framePool.Get().(*frame)
+	framePool.Put(f)
+	f = framePool.Get().(*frame)
+	n := len(f.slots)
+	framePool.Put(f)
+	return n
+}
+
+// deferScoped is the dominant real-tree shape: checkout, deferred
+// release, uses strictly inside the body. Nothing escapes.
+func deferScoped(k int) int {
+	f := framePool.Get().(*frame)
+	defer framePool.Put(f)
+	f.slots = append(f.slots[:0], k)
+	return f.slots[0] * 2
+}

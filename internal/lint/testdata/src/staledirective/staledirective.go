@@ -1,0 +1,17 @@
+// The staledirective fixture carries a well-formed //viewplan:
+// annotation (key and reason) that no longer matches any finding: the
+// loop's sink is sorted, so mapiterdet is silent. The framework must
+// flag the annotation itself as stale — otherwise dead suppressions
+// accumulate and silently swallow future findings on the same line.
+package corecover
+
+import "sort"
+
+func fine(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //viewplan:nondet-ok keys are sorted before returning
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

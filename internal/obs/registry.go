@@ -250,7 +250,7 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 	defer r.mu.RUnlock()
 	if len(r.phases) > 0 {
 		s.Phases = make(map[string]PhaseTotals, len(r.phases))
-		for name, p := range r.phases { //viewplan:nondet-ok each entry copies into the snapshot map under the range key; the atomic loads commute
+		for name, p := range r.phases {
 			s.Phases[name] = PhaseTotals{
 				Count:      p.count.Load(),
 				TotalNanos: p.total.Load(),
@@ -282,7 +282,7 @@ func (s *RegistrySnapshot) Delta(prev *RegistrySnapshot) *RegistrySnapshot {
 		Requests:    s.Requests - prev.Requests,
 		UptimeNanos: s.UptimeNanos - prev.UptimeNanos,
 	}
-	for name, v := range s.Counters { //viewplan:nondet-ok the per-counter delta is stored back under the range key, so iteration order cannot reach the result
+	for name, v := range s.Counters {
 		if d := v - prev.Counters[name]; d != 0 {
 			if out.Counters == nil {
 				out.Counters = make(map[string]int64)
@@ -290,7 +290,7 @@ func (s *RegistrySnapshot) Delta(prev *RegistrySnapshot) *RegistrySnapshot {
 			out.Counters[name] = d
 		}
 	}
-	for name, p := range s.Phases { //viewplan:nondet-ok the per-phase delta is stored back under the range key, so iteration order cannot reach the result
+	for name, p := range s.Phases {
 		q := prev.Phases[name]
 		d := PhaseTotals{
 			Count:      p.Count - q.Count,

@@ -122,7 +122,7 @@ func (s *Set) Append(defs ...*cq.Query) (*Set, error) {
 		byName: make(map[string]*View, len(s.Views)+len(defs)),
 	}
 	copy(out.Views, s.Views)
-	for n, v := range s.byName { //viewplan:nondet-ok map copy into a map; iteration order cannot reach the result
+	for n, v := range s.byName {
 		out.byName[n] = v
 	}
 	for _, d := range defs {
