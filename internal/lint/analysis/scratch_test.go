@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestScratchPurity(t *testing.T) {
+	pkg, err := LoadDir("../testdata/src", "scratchpure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, sums := pkg.Interproc()
+	for _, n := range g.Nodes {
+		t.Logf("%s: Pure=%v", n.Obj.Name(), sums[n.Obj].Pure)
+	}
+}

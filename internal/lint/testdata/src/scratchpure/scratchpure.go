@@ -1,0 +1,9 @@
+package scratchpure
+
+type S struct{ x int }
+
+func (s *S) Mutate() { s.x = 1 }
+
+func MutateParam(p *S) { p.x = 2 }
+
+func PureRead(s *S) int { return s.x }
