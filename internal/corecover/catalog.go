@@ -90,7 +90,9 @@ func CompileViews(vs *views.Set, opts Options) (*Catalog, error) {
 		return nil, err
 	}
 	keys := make([]string, own.Len())
-	if par := opts.parallelism(); par > 1 && own.Len() > 1 {
+	predLists := make([][]string, own.Len())
+	par := opts.parallelism()
+	if par > 1 && own.Len() > 1 {
 		if par > own.Len() {
 			par = own.Len()
 		}
@@ -106,6 +108,7 @@ func CompileViews(vs *views.Set, opts Options) (*Catalog, error) {
 						return
 					}
 					keys[i] = views.DefinitionKey(own.Views[i])
+					predLists[i] = viewPredList(own.Views[i])
 				}
 			}()
 		}
@@ -113,14 +116,33 @@ func CompileViews(vs *views.Set, opts Options) (*Catalog, error) {
 	} else {
 		for i, v := range own.Views {
 			keys[i] = views.DefinitionKey(v)
+			predLists[i] = viewPredList(v)
 		}
 	}
-	return newCatalog(own, keys)
+	return newCatalog(own, keys, predLists, par)
 }
 
-// newCatalog assembles a Catalog from a set and its precomputed
-// definition keys, minting a fresh generation.
-func newCatalog(vs *views.Set, keys []string) (*Catalog, error) {
+// viewPredList extracts one view's predicate names in vocabulary
+// interning order: head first, then body atoms as written. Workers
+// compute these lists in parallel; newCatalog then interns them
+// sequentially, so the vocabulary issues the exact ids a sequential
+// compile would.
+func viewPredList(v *views.View) []string {
+	out := make([]string, 0, 1+len(v.Def.Body))
+	out = append(out, v.Def.Head.Pred)
+	for _, a := range v.Def.Body {
+		out = append(out, a.Pred)
+	}
+	return out
+}
+
+// newCatalog assembles a Catalog from a set, its precomputed definition
+// keys, and (optionally) precomputed per-view predicate-name lists,
+// minting a fresh generation. Interning walks the views in set order
+// whether the lists were computed in parallel or not, so vocabulary ids
+// — and everything keyed by them — are byte-identical across
+// Parallelism settings. par bounds the prefilter-index workers.
+func newCatalog(vs *views.Set, keys []string, predLists [][]string, par int) (*Catalog, error) {
 	classes := vs.ClassesFromKeys(keys)
 	names := make([]string, len(classes))
 	for i, c := range classes {
@@ -139,30 +161,44 @@ func newCatalog(vs *views.Set, keys []string) (*Catalog, error) {
 		vocab:   cq.NewInterner(),
 		byPred:  make(map[uint32][]string),
 	}
-	for _, v := range vs.Views {
-		c.vocab.PredID(v.Def.Head.Pred)
-		for _, a := range v.Def.Body {
-			id := c.vocab.PredID(a.Pred)
+	for i, v := range vs.Views {
+		var preds []string
+		if predLists != nil {
+			preds = predLists[i]
+		}
+		if preds == nil {
+			preds = viewPredList(v)
+		}
+		c.vocab.PredID(preds[0])
+		for _, p := range preds[1:] {
+			id := c.vocab.PredID(p)
 			ns := c.byPred[id]
 			if len(ns) == 0 || ns[len(ns)-1] != v.Name() {
 				c.byPred[id] = append(ns, v.Name())
 			}
 		}
 	}
-	c.workPreds = compileWorkPreds(work, c.vocab)
+	c.workPreds = compileWorkPreds(work, c.vocab, par)
 	return c, nil
 }
 
 // compileWorkPreds builds the per-representative distinct body-pred id
 // lists for the candidate prefilter. Every predicate is already interned
-// (vocab covers all views, and work is a subset), so this only reads.
-func compileWorkPreds(work *views.Set, vocab *cq.Interner) [][]uint32 {
+// (vocab covers all views, and work is a subset), so workers resolve
+// through the read-only LookupPred and each writes only its own slot —
+// the result is position-identical for every par.
+func compileWorkPreds(work *views.Set, vocab *cq.Interner, par int) [][]uint32 {
 	out := make([][]uint32, work.Len())
-	for i, v := range work.Views {
+	slot := func(i int) {
 		var ids []uint32
 	atoms:
-		for _, a := range v.Def.Body {
-			id := vocab.PredID(a.Pred)
+		for _, a := range work.Views[i].Def.Body {
+			id, ok := vocab.LookupPred(a.Pred)
+			if !ok {
+				// Interning from a worker would race; this cannot happen
+				// because vocab interned every view predicate first.
+				panic("corecover: view predicate missing from catalog vocabulary")
+			}
 			for _, have := range ids {
 				if have == id {
 					continue atoms
@@ -172,6 +208,31 @@ func compileWorkPreds(work *views.Set, vocab *cq.Interner) [][]uint32 {
 		}
 		out[i] = ids
 	}
+	if par > work.Len() {
+		par = work.Len()
+	}
+	if par <= 1 || work.Len() <= 1 {
+		for i := range out {
+			slot(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= work.Len() {
+					return
+				}
+				slot(i)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
@@ -247,7 +308,7 @@ func (c *Catalog) AddViews(defs ...*cq.Query) (*Catalog, error) {
 	for i := c.vs.Len(); i < vs.Len(); i++ {
 		keys[i] = views.DefinitionKey(vs.Views[i])
 	}
-	return newCatalog(vs, keys)
+	return newCatalog(vs, keys, nil, 1)
 }
 
 // RemoveView returns a new Catalog without the named view, sharing the
@@ -407,6 +468,6 @@ func (c *Catalog) rebuildWork() error {
 		return err
 	}
 	c.work = work
-	c.workPreds = compileWorkPreds(work, c.vocab)
+	c.workPreds = compileWorkPreds(work, c.vocab, 1)
 	return nil
 }

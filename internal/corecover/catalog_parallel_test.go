@@ -1,0 +1,133 @@
+package corecover
+
+import (
+	"testing"
+
+	"viewplan/internal/workload"
+)
+
+// requireCatalogsIdentical compares every field of two catalogs except
+// the generation (process-unique by design): definition keys, class
+// structure, the representative work set, vocabulary ids, mention
+// lists, and the prefilter index. Byte-identity here is what makes
+// CompileViews' Parallelism setting unobservable downstream — plans,
+// caches, and shard prefilters all key off these fields.
+func requireCatalogsIdentical(t *testing.T, label string, a, b *Catalog) {
+	t.Helper()
+	fail := func(field string, x, y any) {
+		t.Fatalf("%s: catalogs disagree on %s:\n  a: %v\n  b: %v", label, field, x, y)
+	}
+	if len(a.keys) != len(b.keys) {
+		fail("len(keys)", len(a.keys), len(b.keys))
+	}
+	for i := range a.keys {
+		if a.keys[i] != b.keys[i] {
+			fail("keys", a.keys[i], b.keys[i])
+		}
+	}
+	if len(a.classes) != len(b.classes) {
+		fail("len(classes)", len(a.classes), len(b.classes))
+	}
+	for i := range a.classes {
+		if len(a.classes[i]) != len(b.classes[i]) {
+			fail("class size", a.classes[i], b.classes[i])
+		}
+		for j := range a.classes[i] {
+			if a.classes[i][j].Name() != b.classes[i][j].Name() {
+				fail("class member", a.classes[i][j].Name(), b.classes[i][j].Name())
+			}
+		}
+	}
+	an, bn := a.work.Names(), b.work.Names()
+	if len(an) != len(bn) {
+		fail("len(work)", an, bn)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			fail("work", an[i], bn[i])
+		}
+	}
+	for _, p := range a.BasePreds() {
+		ai, _ := a.LookupPred(p)
+		bi, ok := b.LookupPred(p)
+		if !ok || ai != bi {
+			fail("vocab id for "+p, ai, bi)
+		}
+	}
+	if len(a.byPred) != len(b.byPred) {
+		fail("len(byPred)", len(a.byPred), len(b.byPred))
+	}
+	for id, ns := range a.byPred {
+		ms := b.byPred[id]
+		if len(ns) != len(ms) {
+			fail("byPred", ns, ms)
+		}
+		for i := range ns {
+			if ns[i] != ms[i] {
+				fail("byPred entry", ns[i], ms[i])
+			}
+		}
+	}
+	if len(a.workPreds) != len(b.workPreds) {
+		fail("len(workPreds)", len(a.workPreds), len(b.workPreds))
+	}
+	for i := range a.workPreds {
+		if len(a.workPreds[i]) != len(b.workPreds[i]) {
+			fail("workPreds", a.workPreds[i], b.workPreds[i])
+		}
+		for j := range a.workPreds[i] {
+			if a.workPreds[i][j] != b.workPreds[i][j] {
+				fail("workPreds id", a.workPreds[i][j], b.workPreds[i][j])
+			}
+		}
+	}
+}
+
+// Parallel catalog compilation — keys, predicate extraction, and the
+// prefilter index all fanned out — produces the byte-identical catalog
+// the sequential path does, across the whole differential corpus.
+func TestCompileViewsParallelByteIdentical(t *testing.T) {
+	for _, inst := range diffCorpus(t) {
+		seq, err := CompileViews(inst.Views, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := CompileViews(inst.Views, Options{Parallelism: testParallelism(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireCatalogsIdentical(t, inst.Query.String(), seq, par)
+	}
+}
+
+// Copy-on-write descendants of a parallel-compiled catalog keep the
+// sequential-compile identity too.
+func TestCompileViewsParallelMutationsByteIdentical(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{
+		Shape:         workload.Star,
+		QuerySubgoals: 5,
+		NumViews:      12,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := CompileViews(inst.Views, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompileViews(inst.Views, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := inst.Views.Names()[0]
+	seq2, err := seq.RemoveView(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par2, err := par.RemoveView(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCatalogsIdentical(t, "after RemoveView", seq2, par2)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // The parser accepts a small Datalog dialect:
@@ -293,12 +294,19 @@ func (p *parser) term() (Term, error) {
 	return MakeTerm(name), nil
 }
 
+// ident consumes a run of letters, digits, and underscores, decoding
+// whole UTF-8 runes: a multi-byte letter is all-or-nothing, so the
+// lexer's bare-identifier alphabet is exactly the one Const.String
+// consults when deciding whether a spelling needs re-quoting.
 func (p *parser) ident() (string, error) {
 	start := p.pos
 	for !p.eof() {
-		c := rune(p.src[p.pos])
+		c, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if c == utf8.RuneError && size <= 1 {
+			break
+		}
 		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
-			p.pos++
+			p.pos += size
 			continue
 		}
 		break

@@ -1,0 +1,110 @@
+// BufferedStream: a multi-consumer intermediate for the streaming
+// execution path. The IRCache hands the same stream prefix to several
+// candidate rewritings; instead of re-evaluating the pipeline per
+// candidate, the first consumer's pulls append rows to a shared flat
+// buffer and later consumers replay the buffer before pulling further.
+// Consumers are single-goroutine cursors (plan execution is
+// single-threaded per request), so no locking is needed.
+package engine
+
+import "fmt"
+
+// BufferedStream wraps a source pipeline so multiple Reader cursors can
+// consume the same rows without re-evaluation. Only order-preserving
+// pipelines may be buffered: every reader must observe the canonical
+// row order, and a rank-carrying source would need its ranks replayed
+// too (the plan executors simply skip buffering under symmetric joins).
+type BufferedStream struct {
+	src    RowIterator
+	schema Schema
+	w      int
+	rows   []uint32
+	n      int
+	done   bool
+	closed bool
+}
+
+// NewBufferedStream wraps src. It returns an error (closing src) when
+// the source does not preserve canonical order.
+func NewBufferedStream(src RowIterator) (*BufferedStream, error) {
+	if r, ok := src.(rankedIterator); ok && !r.orderPreserved() {
+		src.Close()
+		return nil, fmt.Errorf("engine: only order-preserving pipelines can be buffered")
+	}
+	schema := src.Schema()
+	return &BufferedStream{src: src, schema: schema, w: len(schema)}, nil
+}
+
+// Schema names the buffered columns.
+func (b *BufferedStream) Schema() Schema { return b.schema }
+
+// Size returns the number of rows buffered so far.
+func (b *BufferedStream) Size() int { return b.n }
+
+// Close shuts the underlying source down (idempotent). Readers created
+// earlier keep replaying the buffered prefix but pull nothing further.
+// The IRCache calls this when invalidating cached streams.
+func (b *BufferedStream) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	if !b.done {
+		b.done = true
+		b.src.Close()
+	}
+}
+
+// pull advances the shared frontier by one source row, reporting false
+// at exhaustion (which closes the source, releasing its pooled frames).
+func (b *BufferedStream) pull() bool {
+	if b.done {
+		return false
+	}
+	row, ok := b.src.Next()
+	if !ok {
+		b.done = true
+		b.src.Close()
+		return false
+	}
+	b.rows = append(b.rows, row...)
+	b.n++
+	return true
+}
+
+// Reader returns a fresh cursor over the stream from the first row.
+// Closing a reader does not close the shared source — the owner
+// (typically the IRCache) does that via Close.
+func (b *BufferedStream) Reader() RowIterator {
+	return &bufferedReader{b: b}
+}
+
+type bufferedReader struct {
+	b  *BufferedStream
+	ri int
+}
+
+func (r *bufferedReader) Schema() Schema { return r.b.schema }
+func (r *bufferedReader) Close()         {}
+
+func (r *bufferedReader) Next() ([]uint32, bool) {
+	b := r.b
+	if r.ri >= b.n && !b.pull() {
+		return nil, false
+	}
+	row := b.rows[r.ri*b.w : (r.ri+1)*b.w]
+	r.ri++
+	return row, true
+}
+
+// residentRows counts the shared buffer per consumer: when several
+// candidate executions read the same stream concurrently each drain
+// reports the full buffer, a deliberately conservative accounting.
+func (r *bufferedReader) residentRows() int64 {
+	b := r.b
+	n := int64(b.n)
+	if !b.done {
+		n += pipelineResident(b.src)
+	}
+	return n
+}

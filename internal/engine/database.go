@@ -166,10 +166,24 @@ func (db *Database) Evaluate(q *cq.Query) (*Relation, error) {
 			return nil, err
 		}
 	}
-	out := newRelationIn(q.Name(), q.Head.Arity(), db.in, &db.gen)
-	cols := make([]int, len(q.Head.Args))
-	consts := make([]Value, len(q.Head.Args))
-	for i, arg := range q.Head.Args {
+	return db.ProjectHead(vr, q.Head, true)
+}
+
+// ProjectHead materializes the head projection of a final intermediate
+// relation: head variables copy through from the schema, head constants
+// are interned once. This is the tail of Evaluate, shared with the plan
+// executors in internal/cost so both paths assemble answer relations
+// identically. bumpGen is as in DrainStream: query evaluation advances
+// the database generation, plan execution does not.
+func (db *Database) ProjectHead(vr *VarRelation, head cq.Atom, bumpGen bool) (*Relation, error) {
+	var gen *uint64
+	if bumpGen {
+		gen = &db.gen
+	}
+	out := newRelationIn(head.Pred, head.Arity(), db.in, gen)
+	cols := make([]int, len(head.Args))
+	consts := make([]Value, len(head.Args))
+	for i, arg := range head.Args {
 		switch a := arg.(type) {
 		case cq.Var:
 			c := vr.Schema.IndexOf(a)
@@ -316,79 +330,15 @@ func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*
 	tr := db.Tracer()
 	sp := tr.Start(obs.PhaseEngineJoin)
 	defer sp.End()
-	rel := db.rels[atom.Pred]
-	if rel == nil {
-		tr.Add(obs.CtrUnknownPreds, 1)
-		if tr.HasSink() {
-			tr.Event("unknown-predicate", slog.String("subgoal", atom.String()))
-		}
-		if db.strict {
-			return nil, &UnknownPredicateError{Pred: atom.Pred}
-		}
-		rel = newRelationIn(atom.Pred, atom.Arity(), db.in, nil)
+	spec, err := db.compileAtom(cur.Schema, atom)
+	if err != nil {
+		return nil, err
 	}
-	if rel.Arity != atom.Arity() {
-		return nil, fmt.Errorf("engine: subgoal %s has arity %d, relation has %d", atom, atom.Arity(), rel.Arity)
-	}
-
-	// Classify the atom's positions.
-	type varPos struct {
-		v     cq.Var
-		first int // first position of v within the atom
-	}
-	joinCols := make([]int, 0, len(atom.Args)) // positions joined with cur
-	curCols := make([]int, 0, len(atom.Args))  // matching columns in cur
-	var newVars []varPos                       // variables new to the schema
-	firstPos := make(map[cq.Var]int)           // first occurrence within atom
-	for i, arg := range atom.Args {
-		v, ok := arg.(cq.Var)
-		if !ok {
-			continue
-		}
-		if _, seen := firstPos[v]; !seen {
-			firstPos[v] = i
-			if c := cur.Schema.IndexOf(v); c >= 0 {
-				joinCols = append(joinCols, i)
-				curCols = append(curCols, c)
-			} else {
-				newVars = append(newVars, varPos{v, i})
-			}
-		}
-	}
-
-	// Compile the residual per-row checks: constant positions and
-	// repeated variables. A constant the database has never interned
-	// cannot occur in any stored row, so the join is empty.
-	type constCheck struct {
-		pos int
-		id  uint32
-	}
-	type repCheck struct {
-		pos, first int
-	}
-	var constChecks []constCheck
-	var repChecks []repCheck
-	impossible := false
-	for i, arg := range atom.Args {
-		switch a := arg.(type) {
-		case cq.Const:
-			id, known := db.in.Lookup(a)
-			if !known {
-				impossible = true
-			} else {
-				constChecks = append(constChecks, constCheck{i, id})
-			}
-		case cq.Var:
-			if f := firstPos[a]; f != i {
-				repChecks = append(repChecks, repCheck{i, f})
-			}
-		}
-	}
-
-	outSchema := JoinSchema(cur.Schema, atom)
+	rel := spec.rel
+	outSchema := spec.out
 	out := newVarRelationIn(outSchema, db.in)
 	probed := 0
-	if !impossible && rel.n > 0 && cur.n > 0 {
+	if !spec.impossible && rel.n > 0 && cur.n > 0 {
 		// The probe side must speak the database's symbol table; left
 		// relations built by the kernel already do, standalone ones (the
 		// unit relation, test fixtures) are translated once.
@@ -400,12 +350,12 @@ func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*
 				data[i] = db.in.ID(cur.in.Value(id))
 			}
 		}
-		index := rel.indexFor(joinCols)
-		probeKey := make([]uint32, len(curCols))
+		index := rel.indexFor(spec.joinCols)
+		probeKey := make([]uint32, len(spec.curCols))
 		rowBuf := make([]uint32, len(outSchema))
 		for li := 0; li < cur.n; li++ {
 			left := data[li*w : li*w+w]
-			for k, c := range curCols {
+			for k, c := range spec.curCols {
 				probeKey[k] = left[c]
 			}
 			bucket := index.bucket(probeKey)
@@ -417,18 +367,18 @@ func (db *Database) JoinStep(cur *VarRelation, atom cq.Atom, retain []cq.Var) (*
 		probe:
 			for _, ri := range bucket {
 				right := rel.irow(int(ri))
-				for _, cc := range constChecks {
+				for _, cc := range spec.constChecks {
 					if right[cc.pos] != cc.id {
 						continue probe
 					}
 				}
-				for _, rc := range repChecks {
+				for _, rc := range spec.repChecks {
 					if right[rc.pos] != right[rc.first] {
 						continue probe
 					}
 				}
-				for j, nv := range newVars {
-					rowBuf[w+j] = right[nv.first]
+				for j, np := range spec.newPos {
+					rowBuf[w+j] = right[np]
 				}
 				out.insertIDs(rowBuf)
 			}

@@ -1,0 +1,709 @@
+// Streaming execution: lazy iterator composition over interned rows.
+// The operators here are compiled from the same atomSpec machinery as
+// the materialized JoinStep kernel, so both paths classify subgoal
+// positions, check constants and repeated variables, and order output
+// columns identically. A pipeline of scan → probe joins → filter →
+// project → head preserves the materialized insertion order exactly
+// (DESIGN §16: duplicates introduced by skipping intermediate dedup
+// only ever repeat already-emitted value sequences), so the ordered
+// drain at the plan root reproduces the materialized relation
+// byte-for-byte without sorting. Pipelines containing a symmetric hash
+// join (symjoin.go) perturb arrival order and instead tag every row
+// with a provenance rank vector; the drain sorts those lexicographically
+// to recover the same canonical order.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/obs"
+)
+
+// RowIterator is the pull interface of the streaming execution path.
+// Next returns an interned row valid only until the following Next or
+// Close call. Iterators are single-goroutine; closing the pipeline root
+// closes every operator beneath it, exactly once.
+type RowIterator interface {
+	// Schema names the row columns; nil for head streams, whose columns
+	// are head positions rather than variables.
+	Schema() Schema
+	Next() ([]uint32, bool)
+	Close()
+}
+
+// rankedIterator is implemented by operators that can tag each row with
+// a provenance rank: a fixed-width vector, lexicographically ordered,
+// whose sort recovers the materialized insertion order after an
+// order-perturbing operator (the symmetric join). NextRanked's row and
+// rank are valid until the following call.
+type rankedIterator interface {
+	RowIterator
+	NextRanked() ([]uint32, []int64, bool)
+	// orderPreserved reports whether arrival order already equals the
+	// canonical materialized order, letting the drain skip rank
+	// collection entirely.
+	orderPreserved() bool
+}
+
+// residentIterator reports how many rows an operator subtree currently
+// holds in execution-owned state (symmetric-join tables, stream
+// buffers). Resident sets only grow during a drain, so sampling at
+// exhaustion captures the peak.
+type residentIterator interface {
+	residentRows() int64
+}
+
+func pipelineResident(it RowIterator) int64 {
+	if r, ok := it.(residentIterator); ok {
+		return r.residentRows()
+	}
+	return 0
+}
+
+// streamFrame is a pooled row buffer: each operator that assembles rows
+// checks one out at construction and owns it exclusively until its
+// Close releases it (see the poolsafe analyzer and its poolsafe_stream
+// fixture — retaining a frame past the release is a lint error).
+type streamFrame struct {
+	buf []uint32
+}
+
+var framePool = sync.Pool{New: func() any { return new(streamFrame) }}
+
+func newFrame(width int) *streamFrame {
+	f := framePool.Get().(*streamFrame)
+	if cap(f.buf) < width {
+		f.buf = make([]uint32, width)
+	}
+	f.buf = f.buf[:width]
+	return f
+}
+
+// Streaming counterparts of joinRowsHist: per-operator emission counts
+// and per-drain peak resident rows, observed into the process registry
+// with the same zero-allocation pattern.
+var (
+	streamedRowsHist = obs.Process.Histogram(obs.HistStreamedRows)
+	peakResidentHist = obs.Process.Histogram(obs.HistPeakResident)
+)
+
+// unitIterator is the join identity: one empty row, the streaming
+// counterpart of UnitVarRelation.
+type unitIterator struct {
+	done bool
+}
+
+var emptyRow = []uint32{}
+
+func (u *unitIterator) Schema() Schema { return nil }
+func (u *unitIterator) Close()         {}
+func (u *unitIterator) Next() ([]uint32, bool) {
+	if u.done {
+		return nil, false
+	}
+	u.done = true
+	return emptyRow, true
+}
+
+// scanIterator streams one subgoal's stored rows projected onto the
+// subgoal's schema (distinct variables in first-occurrence order),
+// applying the compiled constant and repeated-variable checks on the
+// fly. Dropped positions are determined by kept ones, so the stream is
+// duplicate-free and in relation insertion order — identical to
+// JoinStep against the unit relation.
+type scanIterator struct {
+	spec  atomSpec
+	ri    int
+	frame *streamFrame
+}
+
+// StreamScan returns a lazy scan of the subgoal's relation. Unknown
+// predicates behave exactly as in JoinStep: an empty stream (with the
+// counter tick), or an error in strict mode.
+func (db *Database) StreamScan(atom cq.Atom) (RowIterator, error) {
+	spec, err := db.compileAtom(nil, atom)
+	if err != nil {
+		return nil, err
+	}
+	it := &scanIterator{spec: spec, frame: newFrame(len(spec.out))}
+	if spec.impossible {
+		it.ri = spec.rel.n
+	}
+	return it, nil
+}
+
+func (it *scanIterator) Schema() Schema { return it.spec.out }
+
+func (it *scanIterator) Next() ([]uint32, bool) {
+	spec := &it.spec
+	for it.ri < spec.rel.n {
+		right := spec.rel.irow(it.ri)
+		it.ri++
+		if !spec.matches(right) {
+			continue
+		}
+		buf := it.frame.buf
+		for j, np := range spec.newPos {
+			buf[j] = right[np]
+		}
+		return buf, true
+	}
+	return nil, false
+}
+
+func (it *scanIterator) Close() {
+	if it.frame == nil {
+		return
+	}
+	framePool.Put(it.frame)
+	it.frame = nil
+}
+
+// probeJoinIterator is the streaming build/probe join: the stored
+// relation is the (indexed) build side, each input row probes it
+// lazily. Emission order is input order × bucket order — the same
+// nested order the materialized kernel inserts in.
+type probeJoinIterator struct {
+	db    *Database
+	in    RowIterator
+	rin   rankedIterator // non-nil when rank propagation is needed
+	spec  atomSpec
+	index *rowIndex
+	w     int // input row width
+	frame *streamFrame
+
+	probeKey []uint32
+	bucket   []int32
+	bi       int
+	rank     []int64
+
+	emitted int64
+	probed  int64
+	closed  bool
+}
+
+// StreamJoin returns a lazy join of the input stream with one subgoal's
+// relation, compiled exactly like a JoinStep. On error the input is
+// closed. The input must share the database's interner (pipelines built
+// by this package always do).
+func (db *Database) StreamJoin(in RowIterator, atom cq.Atom) (RowIterator, error) {
+	spec, err := db.compileAtom(in.Schema(), atom)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	it := &probeJoinIterator{
+		db:       db,
+		in:       in,
+		spec:     spec,
+		w:        len(in.Schema()),
+		frame:    newFrame(len(spec.out)),
+		probeKey: make([]uint32, len(spec.curCols)),
+	}
+	if r, ok := in.(rankedIterator); ok && !r.orderPreserved() {
+		it.rin = r
+	}
+	return it, nil
+}
+
+func (it *probeJoinIterator) Schema() Schema       { return it.spec.out }
+func (it *probeJoinIterator) orderPreserved() bool { return it.rin == nil }
+
+func (it *probeJoinIterator) Next() ([]uint32, bool) {
+	row, _, ok := it.step()
+	return row, ok
+}
+
+func (it *probeJoinIterator) NextRanked() ([]uint32, []int64, bool) {
+	return it.step()
+}
+
+func (it *probeJoinIterator) step() ([]uint32, []int64, bool) {
+	spec := &it.spec
+	if spec.impossible || spec.rel.n == 0 {
+		return nil, nil, false
+	}
+	for {
+		for it.bi < len(it.bucket) {
+			ri := it.bucket[it.bi]
+			it.bi++
+			right := spec.rel.irow(int(ri))
+			if !spec.matches(right) {
+				continue
+			}
+			buf := it.frame.buf
+			for j, np := range spec.newPos {
+				buf[it.w+j] = right[np]
+			}
+			it.emitted++
+			if it.rin != nil {
+				// The bucket row number extends the input's rank: buckets
+				// list rows in insertion order, so (input rank, ri) sorts
+				// emissions into the materialized nested-loop order.
+				it.rank[len(it.rank)-1] = int64(ri)
+			}
+			return buf, it.rank, true
+		}
+		var left []uint32
+		var ok bool
+		if it.rin != nil {
+			var lrank []int64
+			left, lrank, ok = it.rin.NextRanked()
+			if ok {
+				it.rank = append(it.rank[:0], lrank...)
+				it.rank = append(it.rank, 0)
+			}
+		} else {
+			left, ok = it.in.Next()
+		}
+		if !ok {
+			return nil, nil, false
+		}
+		if it.index == nil {
+			it.index = spec.rel.indexFor(spec.joinCols)
+		}
+		for k, c := range spec.curCols {
+			it.probeKey[k] = left[c]
+		}
+		it.bucket = it.index.bucket(it.probeKey)
+		it.bi = 0
+		it.probed += int64(len(it.bucket))
+		copy(it.frame.buf, left[:it.w])
+	}
+}
+
+func (it *probeJoinIterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	streamedRowsHist.Observe(it.emitted)
+	tr := it.db.Tracer()
+	tr.Add(obs.CtrStreamJoins, 1)
+	tr.Add(obs.CtrStreamedRows, it.emitted)
+	tr.Add(obs.CtrJoinProbeRows, it.probed)
+	framePool.Put(it.frame)
+	it.frame = nil
+	it.in.Close()
+}
+
+func (it *probeJoinIterator) residentRows() int64 { return pipelineResident(it.in) }
+
+// filterIterator applies built-in comparisons to a stream, compiled
+// against the input schema exactly like FilterComparisons.
+type filterIterator struct {
+	in     RowIterator
+	rin    rankedIterator
+	intern *Interner
+	checks []streamCheck
+}
+
+type streamCheck struct {
+	op         cq.CompOp
+	lcol, rcol int // column index, or -1 for a constant
+	lval, rval Value
+}
+
+// StreamFilter returns a lazy comparison filter over the input stream.
+// On error the input is closed.
+func (db *Database) StreamFilter(in RowIterator, comps []cq.Comparison) (RowIterator, error) {
+	if len(comps) == 0 {
+		return in, nil
+	}
+	schema := in.Schema()
+	resolve := func(t cq.Term) (int, Value, error) {
+		switch t := t.(type) {
+		case cq.Const:
+			return -1, t, nil
+		case cq.Var:
+			c := schema.IndexOf(t)
+			if c < 0 {
+				return 0, "", fmt.Errorf("engine: compared variable %s not in schema %v", t, schema)
+			}
+			return c, "", nil
+		}
+		return 0, "", fmt.Errorf("engine: bad comparison term %v", t)
+	}
+	it := &filterIterator{in: in, intern: db.in, checks: make([]streamCheck, len(comps))}
+	for i, c := range comps {
+		lc, lv, err := resolve(c.Left)
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		rc, rv, err := resolve(c.Right)
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		it.checks[i] = streamCheck{op: c.Op, lcol: lc, rcol: rc, lval: lv, rval: rv}
+	}
+	if r, ok := in.(rankedIterator); ok && !r.orderPreserved() {
+		it.rin = r
+	}
+	return it, nil
+}
+
+func (it *filterIterator) Schema() Schema       { return it.in.Schema() }
+func (it *filterIterator) Close()               { it.in.Close() }
+func (it *filterIterator) orderPreserved() bool { return it.rin == nil }
+func (it *filterIterator) residentRows() int64  { return pipelineResident(it.in) }
+
+func (it *filterIterator) passes(row []uint32) bool {
+	for _, ch := range it.checks {
+		lv, rv := ch.lval, ch.rval
+		if ch.lcol >= 0 {
+			lv = it.intern.Value(row[ch.lcol])
+		}
+		if ch.rcol >= 0 {
+			rv = it.intern.Value(row[ch.rcol])
+		}
+		if !cq.CompareValues(ch.op, lv, rv) {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *filterIterator) Next() ([]uint32, bool) {
+	for {
+		row, ok := it.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if it.passes(row) {
+			return row, true
+		}
+	}
+}
+
+func (it *filterIterator) NextRanked() ([]uint32, []int64, bool) {
+	for {
+		row, rank, ok := it.rin.NextRanked()
+		if !ok {
+			return nil, nil, false
+		}
+		if it.passes(row) {
+			return row, rank, true
+		}
+	}
+}
+
+// projectIterator keeps only the given variables, in the given order:
+// the streaming counterpart of VarRelation.Project minus the dedup,
+// which the drain at the root performs instead.
+type projectIterator struct {
+	in    RowIterator
+	rin   rankedIterator
+	out   Schema
+	cols  []int
+	frame *streamFrame
+}
+
+// StreamProject returns a lazy projection of the input stream onto the
+// given variables. On error the input is closed.
+func StreamProject(in RowIterator, keep []cq.Var) (RowIterator, error) {
+	schema := in.Schema()
+	cols := make([]int, len(keep))
+	for i, v := range keep {
+		c := schema.IndexOf(v)
+		if c < 0 {
+			in.Close()
+			return nil, fmt.Errorf("engine: projection variable %s not in schema %v", v, schema)
+		}
+		cols[i] = c
+	}
+	it := &projectIterator{
+		in:    in,
+		out:   append(Schema(nil), keep...),
+		cols:  cols,
+		frame: newFrame(len(keep)),
+	}
+	if r, ok := in.(rankedIterator); ok && !r.orderPreserved() {
+		it.rin = r
+	}
+	return it, nil
+}
+
+func (it *projectIterator) Schema() Schema       { return it.out }
+func (it *projectIterator) orderPreserved() bool { return it.rin == nil }
+func (it *projectIterator) residentRows() int64  { return pipelineResident(it.in) }
+
+func (it *projectIterator) apply(row []uint32) []uint32 {
+	buf := it.frame.buf
+	for j, c := range it.cols {
+		buf[j] = row[c]
+	}
+	return buf
+}
+
+func (it *projectIterator) Next() ([]uint32, bool) {
+	row, ok := it.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return it.apply(row), true
+}
+
+func (it *projectIterator) NextRanked() ([]uint32, []int64, bool) {
+	row, rank, ok := it.rin.NextRanked()
+	if !ok {
+		return nil, nil, false
+	}
+	return it.apply(row), rank, true
+}
+
+func (it *projectIterator) Close() {
+	if it.frame == nil {
+		return
+	}
+	framePool.Put(it.frame)
+	it.frame = nil
+	it.in.Close()
+}
+
+// headIterator assembles answer rows from a variable stream: head
+// variables copy through, head constants are interned once — the same
+// fast path as Evaluate's interned projection.
+type headIterator struct {
+	in       RowIterator
+	rin      rankedIterator
+	cols     []int // input column, or -1 for a constant position
+	constIDs []uint32
+	frame    *streamFrame
+}
+
+// StreamHead returns the head projection of a variable stream. On error
+// the input is closed.
+func (db *Database) StreamHead(in RowIterator, head cq.Atom) (RowIterator, error) {
+	schema := in.Schema()
+	it := &headIterator{
+		in:       in,
+		cols:     make([]int, len(head.Args)),
+		constIDs: make([]uint32, len(head.Args)),
+		frame:    newFrame(len(head.Args)),
+	}
+	for i, arg := range head.Args {
+		switch a := arg.(type) {
+		case cq.Var:
+			c := schema.IndexOf(a)
+			if c < 0 {
+				in.Close()
+				return nil, fmt.Errorf("engine: head variable %s missing from join schema", a)
+			}
+			it.cols[i] = c
+		case cq.Const:
+			it.cols[i] = -1
+			it.constIDs[i] = db.in.ID(a)
+		}
+	}
+	if r, ok := in.(rankedIterator); ok && !r.orderPreserved() {
+		it.rin = r
+	}
+	return it, nil
+}
+
+func (it *headIterator) Schema() Schema       { return nil }
+func (it *headIterator) orderPreserved() bool { return it.rin == nil }
+func (it *headIterator) residentRows() int64  { return pipelineResident(it.in) }
+
+func (it *headIterator) apply(row []uint32) []uint32 {
+	buf := it.frame.buf
+	for i, c := range it.cols {
+		if c < 0 {
+			buf[i] = it.constIDs[i]
+		} else {
+			buf[i] = row[c]
+		}
+	}
+	return buf
+}
+
+func (it *headIterator) Next() ([]uint32, bool) {
+	row, ok := it.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return it.apply(row), true
+}
+
+func (it *headIterator) NextRanked() ([]uint32, []int64, bool) {
+	row, rank, ok := it.rin.NextRanked()
+	if !ok {
+		return nil, nil, false
+	}
+	return it.apply(row), rank, true
+}
+
+func (it *headIterator) Close() {
+	if it.frame == nil {
+		return
+	}
+	framePool.Put(it.frame)
+	it.frame = nil
+	it.in.Close()
+}
+
+// StreamStats reports what one streaming drain did.
+type StreamStats struct {
+	// Rows is the number of distinct rows in the drained result.
+	Rows int
+	// RawRows is the number of rows pulled from the pipeline root
+	// before set-semantics dedup.
+	RawRows int64
+	// PeakResidentRows is the peak number of execution-owned resident
+	// rows: operator state (symmetric tables, stream buffers) plus the
+	// accumulating result, plus the rank-sort staging on ranked drains.
+	PeakResidentRows int64
+}
+
+// DrainStream materializes a stream into a named relation with set
+// semantics. Order-preserving pipelines insert rows as they arrive;
+// pipelines containing a symmetric join are drained through a rank sort
+// first. Either way the result is byte-identical to the materialized
+// path's relation. bumpGen controls whether inserts advance the
+// database generation (the IR cache's staleness clock): query
+// evaluation bumps it like Evaluate does, while plan execution drains
+// with bumpGen=false so executing one candidate rewriting does not
+// invalidate intermediates cached for the next. The pipeline is closed
+// before returning.
+func (db *Database) DrainStream(name string, arity int, it RowIterator, bumpGen bool) (*Relation, StreamStats) {
+	var gen *uint64
+	if bumpGen {
+		gen = &db.gen
+	}
+	out := newRelationIn(name, arity, db.in, gen)
+	var stats StreamStats
+	ranked := false
+	if r, ok := it.(rankedIterator); ok && !r.orderPreserved() {
+		ranked = true
+		drainRanked(out, r, &stats)
+	} else {
+		for {
+			row, ok := it.Next()
+			if !ok {
+				break
+			}
+			stats.RawRows++
+			out.insertIDs(row)
+		}
+	}
+	stats.Rows = out.Size()
+	stats.PeakResidentRows = pipelineResident(it) + int64(out.Size())
+	if ranked {
+		stats.PeakResidentRows += stats.RawRows
+	}
+	peakResidentHist.Observe(stats.PeakResidentRows)
+	it.Close()
+	return out, stats
+}
+
+// drainRanked collects every (row, rank) pair, sorts by rank — rank
+// vectors are pairwise distinct, so the lexicographic order is total
+// and the sort deterministic — and inserts in that order, recovering
+// the materialized insertion sequence.
+func drainRanked(out *Relation, r rankedIterator, stats *StreamStats) {
+	w := out.Arity
+	var rows []uint32
+	var ranks []int64
+	rankW := 0
+	for {
+		row, rank, ok := r.NextRanked()
+		if !ok {
+			break
+		}
+		rankW = len(rank)
+		stats.RawRows++
+		rows = append(rows, row...)
+		ranks = append(ranks, rank...)
+	}
+	n := int(stats.RawRows)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra := ranks[order[a]*rankW : order[a]*rankW+rankW]
+		rb := ranks[order[b]*rankW : order[b]*rankW+rankW]
+		for k := 0; k < rankW; k++ {
+			if ra[k] != rb[k] {
+				return ra[k] < rb[k]
+			}
+		}
+		return false
+	})
+	for _, i := range order {
+		out.insertIDs(rows[i*w : i*w+w])
+	}
+}
+
+// StreamOptions configures the streaming evaluation pipeline.
+type StreamOptions struct {
+	// Symmetric executes the first join as a streaming symmetric hash
+	// join (symjoin.go) instead of a build/probe join, so neither input
+	// relation's index must be built up front and both sides stream.
+	Symmetric bool
+}
+
+// EvaluateStream computes the same answer relation as Evaluate through
+// the lazy iterator path: no intermediate relation is materialized, and
+// the ordered drain at the root makes the result byte-identical to
+// Evaluate's (same name, same interner, same insertion order).
+func (db *Database) EvaluateStream(q *cq.Query, opt StreamOptions) (*Relation, StreamStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, StreamStats{}, err
+	}
+	order := db.greedyOrder(q.Body)
+	it, err := db.BuildJoinPipeline(q.Body, order, nil, opt.Symmetric)
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	if q.HasComparisons() {
+		it, err = db.StreamFilter(it, q.Comparisons)
+		if err != nil {
+			return nil, StreamStats{}, err
+		}
+	}
+	it, err = db.StreamHead(it, q.Head)
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	rel, stats := db.DrainStream(q.Name(), q.Head.Arity(), it, true)
+	return rel, stats, nil
+}
+
+// BuildJoinPipeline composes scans and joins for the body atoms in the
+// given order. retains[k], when non-nil, projects after step k (the M3
+// supplementary-relation drops); symmetric executes the first join
+// symmetrically. The plan executors in internal/cost drive this with
+// plan orders instead of the greedy one.
+func (db *Database) BuildJoinPipeline(body []cq.Atom, order []int, retains [][]cq.Var, symmetric bool) (RowIterator, error) {
+	if len(order) == 0 {
+		return &unitIterator{}, nil
+	}
+	var it RowIterator
+	var err error
+	for k, idx := range order {
+		switch {
+		case k == 0:
+			it, err = db.StreamScan(body[idx])
+		case k == 1 && symmetric:
+			it, err = db.StreamSymmetricJoin(it, body[idx])
+		default:
+			it, err = db.StreamJoin(it, body[idx])
+		}
+		if err != nil {
+			return nil, err
+		}
+		if retains != nil && retains[k] != nil {
+			it, err = StreamProject(it, retains[k])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return it, nil
+}

@@ -1,0 +1,256 @@
+// Streaming symmetric hash join: both inputs build and probe
+// incrementally, so neither side's table must be fully resident before
+// the first output row. The left side is any order-preserving pipeline;
+// the right side scans one subgoal's relation with the compiled
+// constant/repeated-variable checks applied on arrival. Arrivals
+// strictly alternate; each side inserts into its own presized hash
+// table (the right one sized by the known relation cardinality) and
+// probes the other's, so every matching pair is emitted exactly once —
+// when its later row arrives. Once a side exhausts, the other side
+// stops inserting (no future probes can need its rows), which is what
+// keeps peak residency below two full tables.
+//
+// Emission order interleaves the two sides, so each output row carries
+// a provenance rank [left arrival seq, right arrival seq]; sorting
+// ranks lexicographically recovers the materialized nested-loop order
+// (left insertion order × right insertion order), which is how the
+// ordered drain stays byte-identical to JoinStep (DESIGN §16).
+package engine
+
+import (
+	"fmt"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/obs"
+)
+
+// symTable is one side's incrementally built half of a symmetric join:
+// a presized hash index over a side-local flat row store. Store index
+// equals arrival sequence — rows are inserted in arrival order from the
+// first arrival until the other side exhausts, then never again.
+type symTable struct {
+	index *rowIndex
+	rows  []uint32
+	w     int
+	n     int
+}
+
+func newSymTable(w, keyW, hint int) *symTable {
+	return &symTable{index: newRowIndexSized(keyW, hint), w: w}
+}
+
+func (t *symTable) add(row, key []uint32) {
+	t.index.insert(key, int32(t.n))
+	t.rows = append(t.rows, row...)
+	t.n++
+}
+
+func (t *symTable) row(i int) []uint32 {
+	return t.rows[i*t.w : (i+1)*t.w]
+}
+
+const (
+	probeNone  = iota
+	probeRight // a left row arrived and probes the right table
+	probeLeft  // a right row arrived and probes the left table
+)
+
+type symmetricJoinIterator struct {
+	db    *Database
+	in    RowIterator
+	spec  atomSpec
+	w     int // left row width
+	nw    int // stored right row width (new columns only)
+	frame *streamFrame
+
+	left, right        *symTable
+	leftKey, rightKey  []uint32
+	arrRight           []uint32 // the arriving right row, projected
+
+	ri         int // scan cursor into the right relation
+	lseq, rseq int64
+	leftDone   bool
+	rightDone  bool
+	pullLeft   bool
+
+	probeSide  int
+	arrivalSeq int64
+	bucket     []int32
+	bi         int
+	rank       [2]int64
+
+	emitted int64
+	probed  int64
+	closed  bool
+}
+
+// StreamSymmetricJoin returns a streaming symmetric hash join of the
+// input stream with one subgoal's relation. The input must be an
+// order-preserving pipeline (scans, probe joins, filters, projections —
+// not another symmetric join), which the plan compilers guarantee by
+// only executing the first join symmetrically. On error the input is
+// closed.
+func (db *Database) StreamSymmetricJoin(in RowIterator, atom cq.Atom) (RowIterator, error) {
+	if r, ok := in.(rankedIterator); ok && !r.orderPreserved() {
+		in.Close()
+		return nil, fmt.Errorf("engine: symmetric join requires an order-preserving input")
+	}
+	spec, err := db.compileAtom(in.Schema(), atom)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	w := len(in.Schema())
+	keyW := len(spec.curCols)
+	nw := len(spec.newPos)
+	it := &symmetricJoinIterator{
+		db:       db,
+		in:       in,
+		spec:     spec,
+		w:        w,
+		nw:       nw,
+		frame:    newFrame(len(spec.out)),
+		left:     newSymTable(w, keyW, 0),
+		right:    newSymTable(nw, keyW, spec.rel.n),
+		leftKey:  make([]uint32, keyW),
+		rightKey: make([]uint32, keyW),
+		arrRight: make([]uint32, nw),
+		pullLeft: true,
+	}
+	if spec.impossible {
+		it.rightDone = true
+	}
+	return it, nil
+}
+
+func (it *symmetricJoinIterator) Schema() Schema       { return it.spec.out }
+func (it *symmetricJoinIterator) orderPreserved() bool { return false }
+
+func (it *symmetricJoinIterator) residentRows() int64 {
+	return int64(it.left.n) + int64(it.right.n) + pipelineResident(it.in)
+}
+
+func (it *symmetricJoinIterator) Next() ([]uint32, bool) {
+	row, _, ok := it.NextRanked()
+	return row, ok
+}
+
+func (it *symmetricJoinIterator) NextRanked() ([]uint32, []int64, bool) {
+	for {
+		for it.bi < len(it.bucket) {
+			seq := int64(it.bucket[it.bi])
+			it.bi++
+			buf := it.frame.buf
+			if it.probeSide == probeRight {
+				// Left row arrived (already in buf[:w]); pair it with each
+				// stored right row.
+				copy(buf[it.w:], it.right.row(int(seq)))
+				it.rank[0], it.rank[1] = it.arrivalSeq, seq
+			} else {
+				// Right row arrived (already in buf[w:]); pair it with each
+				// stored left row.
+				copy(buf[:it.w], it.left.row(int(seq)))
+				it.rank[0], it.rank[1] = seq, it.arrivalSeq
+			}
+			it.emitted++
+			return buf, it.rank[:], true
+		}
+		if !it.arrive() {
+			return nil, nil, false
+		}
+	}
+}
+
+// arrive pulls the next row (alternating sides), inserts it into its
+// table unless the other side has exhausted, and stages its probe
+// bucket. It reports false when no further emission is possible.
+func (it *symmetricJoinIterator) arrive() bool {
+	spec := &it.spec
+	for {
+		if it.leftDone && it.rightDone {
+			return false
+		}
+		// An exhausted side with an empty table can never pair again.
+		if it.leftDone && it.left.n == 0 {
+			return false
+		}
+		if it.rightDone && it.right.n == 0 {
+			return false
+		}
+		fromLeft := it.pullLeft
+		it.pullLeft = !it.pullLeft
+		if fromLeft && it.leftDone {
+			fromLeft = false
+		} else if !fromLeft && it.rightDone {
+			fromLeft = true
+		}
+		if fromLeft {
+			row, ok := it.in.Next()
+			if !ok {
+				it.leftDone = true
+				continue
+			}
+			seq := it.lseq
+			it.lseq++
+			for k, c := range spec.curCols {
+				it.leftKey[k] = row[c]
+			}
+			if !it.rightDone {
+				it.left.add(row, it.leftKey)
+			}
+			copy(it.frame.buf[:it.w], row)
+			it.bucket = it.right.index.bucket(it.leftKey)
+			it.bi = 0
+			it.probed += int64(len(it.bucket))
+			it.probeSide = probeRight
+			it.arrivalSeq = seq
+		} else {
+			var row []uint32
+			for it.ri < spec.rel.n {
+				r := spec.rel.irow(it.ri)
+				it.ri++
+				if spec.matches(r) {
+					row = r
+					break
+				}
+			}
+			if row == nil {
+				it.rightDone = true
+				continue
+			}
+			seq := it.rseq
+			it.rseq++
+			for j, np := range spec.newPos {
+				it.arrRight[j] = row[np]
+			}
+			for k, jc := range spec.joinCols {
+				it.rightKey[k] = row[jc]
+			}
+			if !it.leftDone {
+				it.right.add(it.arrRight, it.rightKey)
+			}
+			copy(it.frame.buf[it.w:], it.arrRight)
+			it.bucket = it.left.index.bucket(it.rightKey)
+			it.bi = 0
+			it.probed += int64(len(it.bucket))
+			it.probeSide = probeLeft
+			it.arrivalSeq = seq
+		}
+		return true
+	}
+}
+
+func (it *symmetricJoinIterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	streamedRowsHist.Observe(it.emitted)
+	tr := it.db.Tracer()
+	tr.Add(obs.CtrStreamJoins, 1)
+	tr.Add(obs.CtrStreamedRows, it.emitted)
+	tr.Add(obs.CtrJoinProbeRows, it.probed)
+	framePool.Put(it.frame)
+	it.frame = nil
+	it.in.Close()
+}

@@ -98,6 +98,15 @@ func TestPoolSafe(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.PoolSafe, "poolsafe")
 }
 
+// TestPoolSafeStream pins the streaming execution path's frame
+// contract: a buffered stream that retains frame-backed rows (or the
+// frame itself, or a pull closure over it) past the release is flagged,
+// while the documented shapes — copy-before-release drains and the
+// constructor-transfer/Close-release operator lifecycle — stay silent.
+func TestPoolSafeStream(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PoolSafe, "poolsafe_stream")
+}
+
 // TestFrozenWrite covers the copy-on-write discipline: writes through
 // published catalogs are flagged, writes to fresh successors — directly
 // or via a fresh-only-parameter helper like rebuildWork — are not.

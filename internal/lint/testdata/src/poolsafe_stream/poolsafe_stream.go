@@ -1,0 +1,97 @@
+// The poolsafe_stream fixture mirrors the streaming execution path's
+// pooled iterator frames: every streaming operator checks a scratch
+// frame out of a sync.Pool at construction, emits rows through it, and
+// releases it exactly once in Close. The dangerous shape the streaming
+// work introduces is the buffered intermediate — a long-lived structure
+// that is handed rows backed by pooled memory. Retaining frame-backed
+// rows past the release must be flagged; copying them out before the
+// release is the documented legal pattern.
+package engine
+
+import "sync"
+
+type streamFrame struct{ buf []uint32 }
+
+var framePool = sync.Pool{New: func() any { return new(streamFrame) }}
+
+// iter models a streaming operator: the constructor's checkout is an
+// ownership transfer into the struct, Close is the release point.
+type iter struct {
+	frame *streamFrame
+}
+
+func newIter() *iter {
+	return &iter{frame: framePool.Get().(*streamFrame)}
+}
+
+// Close releases the parked frame; the nil store is the whole-LHS kill
+// re-establishing ownership of the field, not a use.
+func (it *iter) Close() {
+	framePool.Put(it.frame)
+	it.frame = nil
+}
+
+// buffer models a multi-consumer buffered stream: rows land in one
+// long-lived flat slice that outlives every operator frame.
+type buffer struct {
+	rows []uint32
+	last *streamFrame
+}
+
+// retainPastRelease is the bug the streaming buffer must never commit:
+// parking the frame itself in the buffer and then releasing it — every
+// replayed row now aliases recycled pool memory.
+func retainPastRelease(b *buffer) {
+	f := framePool.Get().(*streamFrame)
+	b.last = f // want `pooled value f stored into b.last but released`
+	framePool.Put(f)
+}
+
+// emitAfterRelease replays the canonical drain bug: appending a
+// frame-backed row to the shared buffer after the operator released it.
+func emitAfterRelease(b *buffer) {
+	f := framePool.Get().(*streamFrame)
+	f.buf = append(f.buf[:0], 1, 2)
+	framePool.Put(f)
+	b.rows = append(b.rows, f.buf...) // want `use of pooled value f after it was released`
+}
+
+// lazyReader captures the frame in a pull closure that survives the
+// release — each later pull reads a recycled frame.
+func lazyReader() func() []uint32 {
+	f := framePool.Get().(*streamFrame)
+	next := func() []uint32 { return f.buf } // want `pooled value f captured by a closure but released`
+	framePool.Put(f)
+	return next
+}
+
+// handOut returns the frame to the caller while the deferred release is
+// pending — the drain loop would read freed rows.
+func handOut() *streamFrame {
+	f := framePool.Get().(*streamFrame)
+	defer framePool.Put(f)
+	return f // want `pooled value f returned while a deferred release`
+}
+
+// ---- legal patterns the analyzer must stay silent on ----
+
+// drainCopies is the documented buffered-stream contract: rows are
+// copied out of the frame into the buffer's own storage BEFORE the
+// frame goes back to the pool.
+func drainCopies(b *buffer) {
+	f := framePool.Get().(*streamFrame)
+	f.buf = append(f.buf[:0], 3, 4)
+	b.rows = append(b.rows, f.buf...)
+	framePool.Put(f)
+}
+
+// pipelineScoped is the dominant operator shape: checkout at
+// construction (ownership transfer via newIter), rows emitted through
+// the frame inside the pipeline, release in Close.
+func pipelineScoped() int {
+	it := newIter()
+	it.frame.buf = append(it.frame.buf[:0], 7)
+	n := len(it.frame.buf)
+	it.Close()
+	return n
+}

@@ -149,6 +149,13 @@ const (
 	// CtrBatchedProbes counts view-tuple homomorphism probes evaluated
 	// through a pooled batch frame instead of a per-view kernel setup.
 	CtrBatchedProbes
+	// CtrStreamJoins counts streaming join operators (probe or symmetric)
+	// drained to exhaustion by the iterator execution path.
+	CtrStreamJoins
+	// CtrStreamedRows counts rows emitted by streaming join operators —
+	// rows that flowed through the pipeline without being materialized
+	// into an intermediate relation.
+	CtrStreamedRows
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -187,6 +194,8 @@ var counterNames = [NumCounters]string{
 	CtrPlanCacheBypass:    "plan_cache_bypass",
 	CtrCoverShards:        "cover_shards",
 	CtrBatchedProbes:      "batched_probes",
+	CtrStreamJoins:        "stream_joins",
+	CtrStreamedRows:       "streamed_rows",
 }
 
 // String returns the counter's snake_case snapshot key.

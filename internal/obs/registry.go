@@ -31,6 +31,15 @@ const (
 	// HistJoinRows is the output cardinality of each engine join step
 	// (process-wide; see Process).
 	HistJoinRows = "join_rows_per_step"
+	// HistPeakResident is the peak number of execution-owned resident
+	// rows per drain: materialized execution observes the largest
+	// adjacent intermediate pair, streaming execution the operator-held
+	// rows plus the result (process-wide; see Process).
+	HistPeakResident = "peak_resident_rows"
+	// HistStreamedRows is the per-operator emission count of each
+	// streaming join drained by the iterator execution path
+	// (process-wide; see Process).
+	HistStreamedRows = "streamed_rows_per_join"
 )
 
 // counterIndex maps snapshot counter names back to Counter slots, for

@@ -1,0 +1,85 @@
+// Execution workloads: instances sized for benchmarking the plan
+// executor rather than the planner. The paper's Section 7 families keep
+// relations small because planning cost is what's measured there; the
+// streaming executor's point is peak residency, which only shows on
+// instances whose intermediate join results dwarf the final answer.
+package workload
+
+import (
+	"strconv"
+
+	"viewplan/internal/cq"
+	"viewplan/internal/engine"
+)
+
+// ExecConfig parameterizes the high-cardinality chain instance of
+// ExecChain. The zero value gets benchmark defaults via Normalize.
+type ExecConfig struct {
+	// Keys is the number of distinct join keys flowing from e1 into e2
+	// (default 50000). The first intermediate holds Keys rows.
+	Keys int
+	// FanOut is the number of e2 rows per key (default 4). The second
+	// intermediate holds Keys×FanOut rows.
+	FanOut int
+	// Heads is the number of distinct values the chain's endpoints
+	// collapse onto (default 8). The final answer has at most Heads²
+	// rows, so intermediates exceed it by ≥ Keys×FanOut/Heads².
+	Heads int
+}
+
+// Normalize fills zero fields with the benchmark defaults.
+func (c ExecConfig) Normalize() ExecConfig {
+	if c.Keys == 0 {
+		c.Keys = 50000
+	}
+	if c.FanOut == 0 {
+		c.FanOut = 4
+	}
+	if c.Heads == 0 {
+		c.Heads = 8
+	}
+	return c
+}
+
+// ExecChain loads db with a three-hop chain whose intermediates blow up
+// and whose answer collapses:
+//
+//	q(X0, X3) :- e1(X0, X1), e2(X1, X2), e3(X2, X3)
+//
+//	e1 = { (h_{j mod Heads}, k_j)            : j < Keys }
+//	e2 = { (k_j, m_{j·FanOut+f})             : j < Keys, f < FanOut }
+//	e3 = { (m_i, t_{i mod Heads})            : i < Keys·FanOut }
+//
+// Every key joins, so the materialized execution holds Keys rows after
+// the first join and Keys×FanOut after the second, while the head
+// projection collapses everything onto at most Heads² (head, tail)
+// pairs. With the defaults that is a 12500× blowup over the answer —
+// the regime where streaming execution's peak residency wins.
+//
+// It returns the query; execute it with an identity plan (the chain
+// order is the interesting one) over the loaded database.
+func ExecChain(db *engine.Database, cfg ExecConfig) (*cq.Query, error) {
+	cfg = cfg.Normalize()
+	var t engine.Tuple
+	ins := func(rel, a, b string) error {
+		t = append(t[:0], engine.Value(a), engine.Value(b))
+		return db.Insert(rel, t)
+	}
+	for j := 0; j < cfg.Keys; j++ {
+		k := "k" + strconv.Itoa(j)
+		if err := ins("e1", "h"+strconv.Itoa(j%cfg.Heads), k); err != nil {
+			return nil, err
+		}
+		for f := 0; f < cfg.FanOut; f++ {
+			i := j*cfg.FanOut + f
+			m := "m" + strconv.Itoa(i)
+			if err := ins("e2", k, m); err != nil {
+				return nil, err
+			}
+			if err := ins("e3", m, "t"+strconv.Itoa(i%cfg.Heads)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cq.MustParseQuery("q(X0, X3) :- e1(X0, X1), e2(X1, X2), e3(X2, X3)"), nil
+}

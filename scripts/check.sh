@@ -38,6 +38,9 @@ go build -o bin/viewplanlint ./cmd/viewplanlint
 echo "== go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/... ./internal/service/... (VIEWPLAN_PARALLEL=8)"
 VIEWPLAN_PARALLEL=8 go test -race ./internal/obs/... ./internal/corecover/... ./internal/views/... ./internal/service/...
 
+echo "== exec gate: streaming vs materialized plan execution (scripts/bench_exec.sh)"
+./scripts/bench_exec.sh
+
 echo "== fuzz smoke: cq parser round-trips (10s each)"
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=10s ./internal/cq
 go test -run='^$' -fuzz=FuzzParseProgram -fuzztime=10s ./internal/cq

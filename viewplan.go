@@ -148,6 +148,13 @@ type (
 	DropStrategy = cost.DropStrategy
 	// FilterResult reports the Section 5.1 filter-selection outcome.
 	FilterResult = cost.FilterResult
+	// ExecOptions selects how ExecutePlan runs a plan: the default
+	// materialized JoinStep replay, or the streaming iterator path
+	// (StreamExec), optionally with a symmetric hash first join.
+	ExecOptions = cost.ExecOptions
+	// ExecStats reports one plan execution's row counts and peak
+	// resident rows.
+	ExecStats = cost.ExecStats
 	// Tracer records hierarchical phase spans and atomic work counters
 	// for one planning run; nil is the no-op default.
 	Tracer = obs.Tracer
@@ -313,6 +320,15 @@ func BestPlanM2(db *Database, p *Query) (*Plan, error) { return cost.BestPlanM2(
 // and views for the Section 6.2 equivalence tests.
 func BestPlanM3(db *Database, p *Query, strategy DropStrategy, q *Query, vs *ViewSet) (*Plan, error) {
 	return cost.BestPlanM3(db, p, strategy, q, vs)
+}
+
+// ExecutePlan runs an optimizer-chosen plan over db and returns the
+// answer relation. All strategies — materialized replay, streaming
+// iterators, symmetric hash joins — produce the byte-identical
+// relation; StreamExec trades the materialized path's intermediate
+// relations for constant per-operator state (see ExecOptions).
+func ExecutePlan(db *Database, p *Plan, opts ExecOptions) (*Relation, ExecStats, error) {
+	return cost.ExecutePlan(db, p, opts)
 }
 
 // ImproveWithFilters greedily adds filtering view literals to a rewriting
